@@ -1,0 +1,23 @@
+"""Ablation benchmark: fraud-attention vs uniform mean pooling.
+
+The attention mechanism is what lets RRRE discount suspicious reviews
+when building user/item profiles; replacing it with a uniform mean
+should cost reliability AUC in particular.
+"""
+
+from conftest import run_once
+
+from repro.eval import run_ablation_attention
+
+
+def test_ablation_attention(benchmark, bench_params):
+    report = run_once(
+        benchmark,
+        run_ablation_attention,
+        scale=bench_params["scale"],
+        seeds=bench_params["seeds"],
+        epochs=bench_params["epochs"],
+    )
+    print("\n" + report.rendered)
+    values = report.data["values"]
+    assert set(values) == {"attention", "mean"}

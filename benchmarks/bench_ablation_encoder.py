@@ -1,0 +1,18 @@
+"""Ablation benchmark: BiLSTM (paper) vs CNN vs mean-pool review encoders."""
+
+from conftest import run_once
+
+from repro.eval import run_ablation_encoder
+
+
+def test_ablation_encoder(benchmark, bench_params):
+    report = run_once(
+        benchmark,
+        run_ablation_encoder,
+        scale=bench_params["scale"],
+        seeds=bench_params["seeds"],
+        epochs=bench_params["epochs"],
+    )
+    print("\n" + report.rendered)
+    values = report.data["values"]
+    assert set(values) == {"bilstm", "cnn", "mean"}

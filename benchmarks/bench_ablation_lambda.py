@@ -1,0 +1,27 @@
+"""Ablation benchmark: joint-loss weight λ sweep (Eq. 15).
+
+λ=0 removes reliability supervision (AUC collapses toward chance);
+λ=1 removes rating supervision (bRMSE collapses); interior values keep
+both heads healthy — the reason the paper trains jointly.
+"""
+
+from conftest import run_once
+
+from repro.eval import run_ablation_lambda
+
+
+def test_ablation_lambda(benchmark, bench_params):
+    report = run_once(
+        benchmark,
+        run_ablation_lambda,
+        lambdas=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+        scale=bench_params["scale"],
+        epochs=bench_params["epochs"],
+    )
+    print("\n" + report.rendered)
+    brmse = report.data["brmse"]
+    auc_values = report.data["auc"]
+    # Rating supervision matters: λ=1.0 (no rating loss) is the worst bRMSE.
+    assert brmse[-1] >= max(brmse[:-1]) - 1e-9
+    # Reliability supervision matters: λ=0.0 has the worst AUC.
+    assert auc_values[0] <= min(auc_values[1:]) + 0.05

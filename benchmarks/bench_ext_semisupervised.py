@@ -1,0 +1,53 @@
+"""Extension benchmark: semi-supervised RRRE (the paper's future work).
+
+Sweeps the reliability-label budget; self-training with a 10-20 % budget
+should recover most of the fully supervised AUC and degrade gracefully.
+"""
+
+from conftest import run_once
+
+from repro.core import SemiSupervisedRRRETrainer
+from repro.data import load_dataset, train_test_split
+from repro.eval import bench_rrre_config, format_series
+
+
+def sweep(fractions, scale, epochs, seed=0):
+    dataset = load_dataset("yelpchi", seed=seed, scale=scale)
+    train, test = train_test_split(dataset, seed=seed)
+    aucs, brmses, labeled = [], [], []
+    for fraction in fractions:
+        trainer = SemiSupervisedRRRETrainer(
+            bench_rrre_config(epochs=max(3, epochs // 2), seed=seed),
+            label_fraction=fraction,
+            rounds=2,
+        )
+        trainer.fit(dataset, train)
+        metrics = trainer.evaluate(test)
+        aucs.append(metrics.get("auc", 0.0))
+        brmses.append(metrics["brmse"])
+        labeled.append(trainer.label_budget_summary()["labeled"])
+    return fractions, aucs, brmses, labeled
+
+
+def test_ext_semisupervised(benchmark, bench_params):
+    fractions = (0.05, 0.1, 0.2, 0.5, 1.0)
+    fractions, aucs, brmses, labeled = run_once(
+        benchmark,
+        sweep,
+        fractions,
+        bench_params["scale"],
+        bench_params["epochs"],
+    )
+    print(
+        "\n"
+        + format_series(
+            "Extension — semi-supervised RRRE vs label budget (yelpchi)",
+            "label frac",
+            list(fractions),
+            {"AUC": aucs, "bRMSE": brmses, "labels used": [float(x) for x in labeled]},
+        )
+    )
+    # Graceful degradation: tiny budgets stay well above chance.
+    assert aucs[0] > 0.55
+    # More labels never hurt much: full supervision within 0.1 of the best.
+    assert max(aucs) - aucs[-1] < 0.1

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Fig. 2 (training curves vs embedding size k).
+
+Paper shape: small k (8) underfits; k=64 is near the sweet spot; k=128
+adds cost without clear gains.
+"""
+
+from conftest import run_once
+
+from repro.eval import run_fig2
+
+
+def test_fig2(benchmark, bench_params):
+    report = run_once(
+        benchmark,
+        run_fig2,
+        k_values=(8, 16, 32, 64, 128),
+        scale=bench_params["scale"],
+        epochs=max(6, bench_params["epochs"] // 2),
+    )
+    print("\n" + report.rendered)
+    brmse = report.data["brmse"]
+    assert set(brmse) == {"k=8", "k=16", "k=32", "k=64", "k=128"}

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 3 (user input size s_u sweep).
+
+Paper shape: performance improves slowly with s_u and the time cost
+changes little (users rarely have many reviews, so larger s_u mostly
+adds zero padding).
+"""
+
+from conftest import run_once
+
+from repro.eval import run_fig3
+
+
+def test_fig3(benchmark, bench_params):
+    report = run_once(
+        benchmark,
+        run_fig3,
+        sizes=(1, 3, 5, 7, 9, 11, 13),
+        scale=bench_params["scale"],
+        epochs=max(6, bench_params["epochs"] // 2),
+    )
+    print("\n" + report.rendered)
+    seconds = report.data["seconds"]
+    # Time grows sub-linearly in s_u (mostly padding) — the paper's finding.
+    assert max(seconds) < 4.0 * min(seconds)

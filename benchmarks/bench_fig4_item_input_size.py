@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig. 4 (item input size s_i sweep).
+
+Paper shape: items have many reviews, so the time cost grows roughly
+linearly with s_i while quality saturates.
+"""
+
+from conftest import run_once
+
+from repro.eval import run_fig4
+
+
+def test_fig4(benchmark, bench_params):
+    report = run_once(
+        benchmark,
+        run_fig4,
+        sizes=(4, 8, 12, 16, 20, 24, 28),
+        scale=bench_params["scale"],
+        epochs=max(6, bench_params["epochs"] // 2),
+    )
+    print("\n" + report.rendered)
+    seconds = report.data["seconds"]
+    # Larger s_i costs more: the last point is slower than the first.
+    assert seconds[-1] > seconds[0] * 0.8

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table II (dataset statistics)."""
+
+from conftest import run_once
+
+from repro.eval import run_table2
+
+
+def test_table2(benchmark, bench_params):
+    report = run_once(benchmark, run_table2, scale=bench_params["scale"])
+    print("\n" + report.rendered)
+    rows = report.data["rows"]
+    assert set(rows) == {"yelpchi", "yelpnyc", "yelpzip", "musics", "cds"}
+    # The simulated fake shares must track Table II within 3 points.
+    for name, row in rows.items():
+        assert abs(row["fake%"] - row["paper fake%"]) < 3.0, name

@@ -1,0 +1,45 @@
+"""Benchmark: regenerate Table IV (AUC / AP of reliability prediction).
+
+Paper shape: RRRE is best or second-best everywhere; REV2 trails on the
+Yelp datasets (sparse throwaway accounts) but recovers on Amazon.
+"""
+
+from conftest import run_once
+
+from repro.eval import (
+    PAPER_TABLE4_AP,
+    PAPER_TABLE4_AUC,
+    compare_table,
+    render_comparison,
+    run_table4,
+)
+
+
+def test_table4(benchmark, bench_params):
+    report = run_once(
+        benchmark,
+        run_table4,
+        seeds=bench_params["seeds"],
+        scale=bench_params["scale"],
+        epochs=bench_params["epochs"],
+    )
+    print("\n" + report.rendered)
+    aucs = report.data["auc"]
+    # Transpose {model: {dataset: v}} → {dataset: {model: v}} for the
+    # row-wise shape check.
+    def transpose(table):
+        out = {}
+        for model, row in table.items():
+            for dataset, value in row.items():
+                out.setdefault(dataset, {})[model] = value
+        return out
+
+    for metric_name, measured, paper in (
+        ("AUC", transpose(aucs), transpose(PAPER_TABLE4_AUC)),
+        ("AP", transpose(report.data["ap"]), transpose(PAPER_TABLE4_AP)),
+    ):
+        shape = compare_table(f"table4 ({metric_name})", measured, paper, lower_is_better=False)
+        print("\n" + render_comparison(shape))
+    for model, per_dataset in aucs.items():
+        for dataset, value in per_dataset.items():
+            assert 0.3 < value <= 1.0, (model, dataset, value)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table VI (NDCG@k on CDs)."""
+
+from conftest import run_once
+
+from repro.eval import run_table6
+
+
+def test_table6(benchmark, bench_params):
+    report = run_once(
+        benchmark,
+        run_table6,
+        seeds=bench_params["seeds"],
+        scale=bench_params["scale"],
+        epochs=bench_params["epochs"],
+    )
+    print("\n" + report.rendered)
+    assert report.data["ndcg"]

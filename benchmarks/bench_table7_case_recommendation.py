@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table VII (case study: recommendation)."""
+
+from conftest import run_once
+
+from repro.eval import run_table7
+
+
+def test_table7(benchmark, bench_params):
+    report = run_once(
+        benchmark,
+        run_table7,
+        scale=bench_params["scale"],
+        epochs=bench_params["epochs"],
+    )
+    print("\n" + report.rendered)
+    recs = report.data["recommendations"]
+    assert recs, "expected at least one recommendation"
+    # The list is reliability-sorted within the rating-sorted pool.
+    rel = [r.predicted_reliability for r in recs]
+    assert rel == sorted(rel, reverse=True)

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table VIII (case study: reliable explanations)."""
+
+from conftest import run_once
+
+from repro.eval import run_table8
+
+
+def test_table8(benchmark, bench_params):
+    report = run_once(
+        benchmark,
+        run_table8,
+        scale=bench_params["scale"],
+        epochs=bench_params["epochs"],
+    )
+    print("\n" + report.rendered)
+    explanations = report.data["explanations"]
+    assert explanations, "expected at least one explanation"
+    for exp in explanations:
+        assert exp.text

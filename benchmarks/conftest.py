@@ -1,0 +1,48 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one table/figure of the paper and prints it.
+Runs are single-shot (``rounds=1``) because the payload is a full
+train/evaluate cycle, not a micro-kernel.
+
+Environment knobs (defaults keep the full suite under ~25 minutes):
+
+* ``REPRO_BENCH_SCALE``  — dataset scale multiplier (default 0.5)
+* ``REPRO_BENCH_SEEDS``  — number of seeds per table (default 2)
+* ``REPRO_BENCH_EPOCHS`` — RRRE training epochs (default 12)
+
+For a higher-fidelity reproduction try
+``REPRO_BENCH_SCALE=1.0 REPRO_BENCH_SEEDS=5 REPRO_BENCH_EPOCHS=20``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+def bench_seeds() -> tuple:
+    return tuple(range(int(os.environ.get("REPRO_BENCH_SEEDS", "2"))))
+
+
+def bench_epochs() -> int:
+    return int(os.environ.get("REPRO_BENCH_EPOCHS", "12"))
+
+
+@pytest.fixture
+def bench_params():
+    """The (scale, seeds, epochs) triple every benchmark uses."""
+    return {
+        "scale": bench_scale(),
+        "seeds": bench_seeds(),
+        "epochs": bench_epochs(),
+    }
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

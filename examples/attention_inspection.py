@@ -1,0 +1,60 @@
+"""Peek inside the fraud-attention: which reviews build a profile?
+
+Run:  python examples/attention_inspection.py
+
+Trains RRRE on a simulated YelpChi, then prints the attention
+distribution over one item's profile reviews and measures, across all
+items, how strongly the attention discounts fake reviews relative to
+uniform pooling — the mechanism behind Eq. 5-7.
+"""
+
+import numpy as np
+
+from repro.core import (
+    RRRETrainer,
+    attention_fake_discount,
+    fast_config,
+    item_profile_attention,
+)
+from repro.data import load_dataset, train_test_split
+
+
+def main() -> None:
+    dataset = load_dataset("yelpchi", seed=0, scale=0.5)
+    train, test = train_test_split(dataset, seed=0)
+    trainer = RRRETrainer(fast_config(epochs=8, seed=0))
+    trainer.fit(dataset, train)
+    print(f"trained on {len(train)} reviews; test AUC = "
+          f"{trainer.evaluate(test).get('auc', float('nan')):.3f}\n")
+
+    # Find an item whose profile mixes fake and benign reviews.
+    target = None
+    for item_id in range(dataset.num_items):
+        attended = item_profile_attention(trainer, item_id)
+        labels = {a.label for a in attended if not a.is_blank}
+        if labels == {0, 1}:
+            target = item_id
+            break
+    if target is None:
+        print("no mixed-profile item at this scale; rerun with a larger scale")
+        return
+
+    print(f"attention over the profile of {dataset.item_names[target]}:")
+    attended = item_profile_attention(trainer, target)
+    uniform = 1.0 / len(attended)
+    for a in attended:
+        tag = "FAKE  " if a.label == 0 else "benign"
+        bar = "#" * int(round(40 * a.weight / max(x.weight for x in attended)))
+        print(f"  {a.weight:.3f} ({tag}) {bar}")
+        print(f'          "{a.text[:64]}..."')
+    print(f"  (uniform weight would be {uniform:.3f})")
+
+    discount = attention_fake_discount(trainer)
+    print(
+        f"\nacross all items with mixed profiles, benign reviews receive "
+        f"{discount:+.2f} more attention than fakes (relative to uniform)."
+    )
+
+
+if __name__ == "__main__":
+    main()

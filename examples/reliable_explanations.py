@@ -1,0 +1,105 @@
+"""Reliable explanations: how RRRE filters fake reviews out of the
+explanation list (the paper's Table VIII scenario).
+
+Run:  python examples/reliable_explanations.py
+
+Builds a platform where popular items are under promotion attacks, then
+compares the explanation candidate pool before and after the
+reliability filter.  Profiled fraud accounts (those with a review
+history) are caught and filtered; a cold-start fake written by a brand
+new account can slip through — the exact limitation the paper's
+future-work section calls out.
+"""
+
+import numpy as np
+
+from repro.core import RRRETrainer, explain_item, fast_config
+from repro.data import PlatformConfig, generate_platform, train_test_split
+
+
+def main() -> None:
+    # A small platform with aggressive, blatant promotion campaigns.
+    config = PlatformConfig(
+        name="attacked-platform",
+        domain="restaurants",
+        num_items=16,
+        num_benign_users=420,
+        num_reviews=1200,
+        fake_fraction=0.2,
+        campaign_size_mean=25.0,
+        fraud_reuse=2.0,
+        camouflage_rate=0.0,  # blatant spam accounts, no cover reviews
+        text_confusion=0.15,
+        seed=11,
+    )
+    dataset = generate_platform(config)
+    train, test = train_test_split(dataset, seed=11)
+
+    trainer = RRRETrainer(fast_config(epochs=10, seed=11))
+    trainer.fit(dataset, train, verbose=False)
+
+    # Pick the most attacked item and use a wide candidate pool.
+    fake_counts = np.bincount(
+        dataset.item_ids[dataset.labels == 0], minlength=dataset.num_items
+    )
+    item_id = int(fake_counts.argmax())
+    print(
+        f"attacked item: {dataset.item_names[item_id]} "
+        f"({fake_counts[item_id]} fake / {dataset.item_degrees()[item_id]} total reviews)\n"
+    )
+
+    pool_size = 80
+    naive = explain_item(trainer, item_id, top_k=pool_size, min_reliability=0.0)
+    reliable = explain_item(trainer, item_id, top_k=pool_size, min_reliability=0.5)
+
+    def describe(label: str, explanations) -> None:
+        fakes = sum(e.actual_label == 0 for e in explanations)
+        print(f"{label}: {len(explanations)} candidates, {fakes} of them fake")
+        for exp in explanations[:4]:
+            tag = "FAKE" if exp.actual_label == 0 else "benign"
+            print(
+                f"  rating={exp.predicted_rating:.2f} "
+                f"rel={exp.predicted_reliability:.2f} ({tag}) "
+                f"\"{exp.text[:58]}...\""
+            )
+        print()
+
+    describe("naive pool (rating-sorted, no reliability filter)", naive)
+    describe("reliable pool (reliability >= 0.5)", reliable)
+
+    naive_fakes = {e.review_index for e in naive if e.actual_label == 0}
+    kept_fakes = {e.review_index for e in reliable if e.actual_label == 0}
+    caught = naive_fakes - kept_fakes
+    print(
+        f"the reliability filter removed {len(caught)} of {len(naive_fakes)} "
+        "fake candidates."
+    )
+    if kept_fakes:
+        print(
+            f"{len(kept_fakes)} fake(s) slipped through — cold-start spam "
+            "accounts with no profile, the paper's acknowledged limitation."
+        )
+
+    # Finally, look at the raw reliability scores across ALL of the
+    # item's reviews: the campaign is cleanly separated from the honest
+    # reviews, which is what makes the filtering above possible at all.
+    review_indices = np.array(dataset.reviews_by_item[item_id])
+    users = dataset.user_ids[review_indices]
+    _, reliabilities = trainer.predict_pairs(
+        users, np.full(len(review_indices), item_id)
+    )
+    labels = dataset.labels[review_indices]
+    print(
+        f"\nmean predicted reliability on {dataset.item_names[item_id]}: "
+        f"fake reviews {reliabilities[labels == 0].mean():.3f}, "
+        f"benign reviews {reliabilities[labels == 1].mean():.3f}"
+    )
+    print("least reliable reviews of the item (all should be fake):")
+    for pos in np.argsort(reliabilities)[:4]:
+        review = dataset.reviews[int(review_indices[pos])]
+        tag = "FAKE" if review.label == 0 else "benign"
+        print(f"  [{reliabilities[pos]:.3f}] ({tag}) \"{review.text[:58]}...\"")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Fill EXPERIMENTS.md placeholders from a benchmark output log.
+
+Usage: python scripts/fill_experiments.py [bench_output.txt]
+
+Extracts each rendered table/series block from the log (as printed by
+``pytest benchmarks/ --benchmark-only -s``) and substitutes it into the
+``{{...}}`` placeholders of EXPERIMENTS.md.  Idempotent: placeholders
+already filled are left untouched.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: placeholder → first line of the block in the log
+BLOCK_HEADS = {
+    "{{TABLE3}}": "Table III — bRMSE of rating prediction",
+    "{{TABLE4}}": "Table IV (left) — AUC of reliability prediction",
+    "{{TABLE5}}": "Table V — NDCG@k of reliability ranking on yelpchi",
+    "{{TABLE6}}": "Table VI — NDCG@k of reliability ranking on cds",
+    "{{FIG2}}": "Fig. 2 (left) — bRMSE per epoch vs embedding size k",
+    "{{FIG3}}": "Fig. 3 — effect of input size s_u",
+    "{{FIG4}}": "Fig. 4 — effect of input size s_i",
+}
+
+
+def extract_block(log: str, head: str) -> str:
+    """The block starting at ``head`` up to the next blank-ish boundary.
+
+    A block ends at a line that is empty AND followed by a line that is
+    not part of a table (heuristic: next non-empty line has no column
+    padding), or at a pytest progress dot line.
+    """
+    start = log.find(head)
+    if start < 0:
+        raise KeyError(f"block head not found: {head!r}")
+    lines = log[start:].splitlines()
+    block: list[str] = []
+    blank_streak = 0
+    for line in lines:
+        if re.fullmatch(r"\.*|shape check.*", line.strip()) and block and not line.strip():
+            pass
+        if line.strip() == "." or line.startswith("shape check"):
+            break
+        if not line.strip():
+            blank_streak += 1
+            if blank_streak >= 2:
+                break
+            block.append(line)
+            continue
+        blank_streak = 0
+        block.append(line)
+    return "\n".join(block).rstrip()
+
+
+def main() -> int:
+    log_path = Path(sys.argv[1]) if len(sys.argv) > 1 else REPO / "bench_output.txt"
+    experiments_path = REPO / "EXPERIMENTS.md"
+    log = log_path.read_text()
+    text = experiments_path.read_text()
+
+    missing = []
+    for placeholder, head in BLOCK_HEADS.items():
+        if placeholder not in text:
+            continue
+        try:
+            block = extract_block(log, head)
+        except KeyError:
+            missing.append(placeholder)
+            continue
+        text = text.replace(placeholder, block)
+    experiments_path.write_text(text)
+    if missing:
+        print(f"unfilled (not in log yet): {', '.join(missing)}")
+        return 1
+    print("EXPERIMENTS.md filled")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The sandbox lacks the ``wheel`` package, so modern PEP 517 editable
+installs fail; ``pip install -e . --no-use-pep517 --no-build-isolation``
+goes through ``setup.py develop`` instead and works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""repro — reproduction of "Reliable Recommendation with Review-level
+Explanations" (RRRE, ICDE 2021).
+
+Subpackages
+-----------
+``repro.nn``
+    From-scratch autograd + neural-network substrate (numpy).
+``repro.text``
+    Tokenization, vocabulary, pretrained word vectors.
+``repro.data``
+    Review data model, platform simulator, dataset presets, loaders.
+``repro.core``
+    The RRRE model, trainer, and recommendation/explanation pipeline.
+``repro.baselines``
+    PMF, DeepCoNN, NARRE, DER (rating); ICWSM13, SpEagle+, REV2
+    (reliability).
+``repro.metrics``
+    bRMSE, RMSE, AUC, Average Precision, NDCG@k.
+``repro.eval``
+    Experiment protocol and one runner per paper table/figure.
+
+Quickstart
+----------
+>>> from repro.data import load_dataset, train_test_split
+>>> from repro.core import RRRETrainer, fast_config
+>>> dataset = load_dataset("yelpchi", seed=0, scale=0.3)
+>>> train, test = train_test_split(dataset, seed=0)
+>>> trainer = RRRETrainer(fast_config(epochs=3)).fit(dataset, train)
+>>> metrics = trainer.evaluate(test)
+"""
+
+__version__ = "1.0.0"
+
+from . import baselines, core, data, eval, metrics, nn, text
+
+__all__ = ["baselines", "core", "data", "eval", "metrics", "nn", "text", "__version__"]

@@ -1,0 +1,99 @@
+"""Command-line interface: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro table3                 # Table III at default scale
+    python -m repro fig2 --scale 0.5       # Fig. 2 data
+    python -m repro all --seeds 3          # everything
+    python -m repro list                   # show available experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict
+
+from .eval import (
+    run_ablation_attention,
+    run_ablation_encoder,
+    run_ablation_lambda,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+    run_table8,
+)
+
+#: experiment name → (runner, accepts_seeds)
+EXPERIMENTS: Dict[str, tuple] = {
+    "table2": (run_table2, False),
+    "table3": (run_table3, True),
+    "table4": (run_table4, True),
+    "table5": (run_table5, True),
+    "table6": (run_table6, True),
+    "table7": (run_table7, False),
+    "table8": (run_table8, False),
+    "fig2": (run_fig2, False),
+    "fig3": (run_fig3, False),
+    "fig4": (run_fig4, False),
+    "ablation-attention": (run_ablation_attention, True),
+    "ablation-encoder": (run_ablation_encoder, True),
+    "ablation-lambda": (run_ablation_lambda, False),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures of the RRRE paper (ICDE 2021).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument("--scale", type=float, default=0.5, help="dataset scale")
+    parser.add_argument("--seeds", type=int, default=2, help="number of seeds")
+    parser.add_argument("--epochs", type=int, default=12, help="RRRE epochs")
+    return parser
+
+
+def run_one(name: str, scale: float, seeds: int, epochs: int) -> None:
+    import inspect
+
+    runner, accepts_seeds = EXPERIMENTS[name]
+    signature = inspect.signature(runner)
+    has_var_kwargs = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in signature.parameters.values()
+    )
+    accepted = set(signature.parameters)
+    kwargs = {"scale": scale}
+    if has_var_kwargs or "epochs" in accepted:
+        kwargs["epochs"] = epochs
+    if accepts_seeds and (has_var_kwargs or "seeds" in accepted):
+        kwargs["seeds"] = tuple(range(seeds))
+    report = runner(**kwargs)
+    print(report.rendered)
+    print()
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        run_one(name, args.scale, args.seeds, args.epochs)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

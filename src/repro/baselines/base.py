@@ -1,0 +1,57 @@
+"""Shared interfaces for baseline models.
+
+Two families, matching the paper's two evaluation tables:
+
+* :class:`RatingModel` — predicts r̂_ui for review pairs (Table III).
+* :class:`ReliabilityModel` — scores P(benign) per review (Tables IV-VI).
+
+Both are duck-typed ABCs: the experiment harness only relies on
+``fit`` + ``predict_subset`` / ``score_subset``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..data import ReviewDataset, ReviewSubset
+
+
+class RatingModel(abc.ABC):
+    """A model that predicts rating scores for (user, item) review pairs."""
+
+    name: str = "rating-model"
+
+    @abc.abstractmethod
+    def fit(
+        self,
+        dataset: ReviewDataset,
+        train: ReviewSubset,
+        test: Optional[ReviewSubset] = None,
+    ) -> "RatingModel":
+        """Train on ``train`` (test is optional, for curve logging)."""
+
+    @abc.abstractmethod
+    def predict_subset(self, subset: ReviewSubset) -> np.ndarray:
+        """Predicted ratings aligned with ``subset``'s review order."""
+
+
+class ReliabilityModel(abc.ABC):
+    """A model that scores the probability each review is benign."""
+
+    name: str = "reliability-model"
+
+    @abc.abstractmethod
+    def fit(
+        self,
+        dataset: ReviewDataset,
+        train: ReviewSubset,
+        test: Optional[ReviewSubset] = None,
+    ) -> "ReliabilityModel":
+        """Train/propagate using ``train`` supervision only."""
+
+    @abc.abstractmethod
+    def score_subset(self, subset: ReviewSubset) -> np.ndarray:
+        """P(benign)-like scores aligned with ``subset``'s review order."""

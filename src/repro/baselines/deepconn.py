@@ -1,0 +1,188 @@
+"""DeepCoNN (Zheng, Noroozi & Yu, WSDM 2017).
+
+Joint deep modeling of users and items from review text: the user tower
+is a text-CNN over the concatenation of all of the user's reviews, the
+item tower likewise, and a factorization machine couples the two latent
+vectors.  No attention, no reliability — the "all text is trustworthy"
+baseline of Table III.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+import numpy as np
+
+import repro.nn as nn
+from repro.nn import functional as F
+
+from ..data import ReviewDataset, ReviewSubset, iter_batches
+from ..metrics import biased_rmse
+from ..text import pad_batch
+from .base import RatingModel
+
+
+class _DeepCoNNModule(nn.Module):
+    """Two CNN towers + FM head."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        word_dim: int,
+        num_filters: int,
+        kernel_size: int,
+        latent_dim: int,
+        fm_factors: int,
+        dropout: float,
+        seed: int,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.word_embedding = nn.Embedding(vocab_size, word_dim, rng, padding_idx=0)
+        self.user_cnn = nn.TextCNN(word_dim, num_filters, kernel_size, rng)
+        self.item_cnn = nn.TextCNN(word_dim, num_filters, kernel_size, rng)
+        self.user_fc = nn.Linear(num_filters, latent_dim, rng)
+        self.item_fc = nn.Linear(num_filters, latent_dim, rng)
+        self.fm = nn.FactorizationMachine(2 * latent_dim, fm_factors, rng)
+        self.dropout = nn.Dropout(dropout, rng)
+
+    def forward(self, user_docs: np.ndarray, item_docs: np.ndarray):
+        x_u = self.user_fc(self.user_cnn(self.word_embedding(user_docs)))
+        y_i = self.item_fc(self.item_cnn(self.word_embedding(item_docs)))
+        z = self.dropout(F.concat([x_u, y_i], axis=-1))
+        return self.fm(z)
+
+
+class DeepCoNN(RatingModel):
+    """DeepCoNN rating predictor.
+
+    Parameters mirror the original at reduced scale; ``doc_len`` caps the
+    concatenated review document per entity (latest reviews first).
+    """
+
+    name = "DeepCoNN"
+
+    def __init__(
+        self,
+        word_dim: int = 16,
+        num_filters: int = 32,
+        kernel_size: int = 3,
+        latent_dim: int = 16,
+        fm_factors: int = 4,
+        doc_len: int = 48,
+        dropout: float = 0.1,
+        lr: float = 0.004,
+        weight_decay: float = 1e-5,
+        batch_size: int = 128,
+        epochs: int = 8,
+        max_vocab: int = 4000,
+        seed: int = 0,
+    ) -> None:
+        self.word_dim = word_dim
+        self.num_filters = num_filters
+        self.kernel_size = kernel_size
+        self.latent_dim = latent_dim
+        self.fm_factors = fm_factors
+        self.doc_len = doc_len
+        self.dropout = dropout
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self.max_vocab = max_vocab
+        self.seed = seed
+        self.module: Optional[_DeepCoNNModule] = None
+        self.history: List[dict] = []
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        dataset: ReviewDataset,
+        train: ReviewSubset,
+        test: Optional[ReviewSubset] = None,
+    ) -> "DeepCoNN":
+        rng = np.random.default_rng(self.seed)
+        vocab = dataset.build_vocabulary(max_size=self.max_vocab)
+        self._build_documents(dataset, train, vocab)
+
+        self.module = _DeepCoNNModule(
+            vocab_size=len(vocab),
+            word_dim=self.word_dim,
+            num_filters=self.num_filters,
+            kernel_size=self.kernel_size,
+            latent_dim=self.latent_dim,
+            fm_factors=self.fm_factors,
+            dropout=self.dropout,
+            seed=self.seed,
+        )
+        optimizer = nn.Adam(
+            self.module.parameters(), lr=self.lr, weight_decay=self.weight_decay
+        )
+        self._rating_range = (float(train.ratings.min()), float(train.ratings.max()))
+        self.history = []
+        for epoch in range(1, self.epochs + 1):
+            start = time.perf_counter()
+            self.module.train()
+            total, batches = 0.0, 0
+            for batch in iter_batches(train, self.batch_size, shuffle=True, rng=rng):
+                optimizer.zero_grad()
+                pred = self._forward_pairs(batch.user_ids, batch.item_ids)
+                loss = nn.mse_loss(pred, batch.ratings)
+                loss.backward()
+                nn.clip_grad_norm(self.module.parameters(), 5.0)
+                optimizer.step()
+                total += float(loss.data)
+                batches += 1
+            record = {
+                "epoch": epoch,
+                "train_loss": total / max(batches, 1),
+                "seconds": time.perf_counter() - start,
+            }
+            if test is not None:
+                record["brmse"] = biased_rmse(
+                    self.predict_subset(test), test.ratings, test.labels
+                )
+            self.history.append(record)
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(self, user_ids: np.ndarray, item_ids: np.ndarray) -> np.ndarray:
+        if self.module is None:
+            raise RuntimeError("DeepCoNN is not fitted; call fit() first")
+        self.module.eval()
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        out = np.empty(len(user_ids))
+        for start in range(0, len(user_ids), 512):
+            sl = slice(start, start + 512)
+            out[sl] = self._forward_pairs(user_ids[sl], item_ids[sl]).data
+        low, high = getattr(self, "_rating_range", (1.0, 5.0))
+        return np.clip(out, low, high)
+
+    def predict_subset(self, subset: ReviewSubset) -> np.ndarray:
+        return self.predict(subset.user_ids, subset.item_ids)
+
+    # ------------------------------------------------------------------
+    def _forward_pairs(self, user_ids: np.ndarray, item_ids: np.ndarray):
+        return self.module(self._user_docs[user_ids], self._item_docs[item_ids])
+
+    def _build_documents(self, dataset, train, vocab) -> None:
+        """Concatenate each entity's training reviews into one document."""
+        train_set = set(int(i) for i in train.index_array)
+
+        def docs_for(groups) -> np.ndarray:
+            documents = []
+            for indices in groups:
+                tokens: List[int] = []
+                # Latest reviews first so truncation keeps fresh text.
+                for idx in reversed([i for i in indices if i in train_set]):
+                    tokens.extend(vocab.encode(dataset.tokens[idx]))
+                    if len(tokens) >= self.doc_len:
+                        break
+                documents.append(tokens[: self.doc_len])
+            ids, _ = pad_batch(documents, self.doc_len)
+            return ids
+
+        self._user_docs = docs_for(dataset.reviews_by_user)
+        self._item_docs = docs_for(dataset.reviews_by_item)

@@ -1,0 +1,232 @@
+"""DER (Chen, Zhang & Qin, AAAI 2019) — dynamic explainable recommendation.
+
+DER models *dynamic* user preferences: the user's review history is read
+in time order by a gated recurrent unit so the latest state reflects the
+current taste; the item side is a static profile.  This implementation
+keeps that essential structure at reproduction scale:
+
+* each review is embedded by masked mean pooling of word vectors
+  (standing in for DER's sentence-level encoder);
+* a time-aware GRU consumes the user's last ``s_u`` reviews in
+  chronological order, with the time gap to the next review appended to
+  the input (the Time-LSTM idea DER builds on);
+* the item profile is the mean of its review embeddings;
+* a factorization machine couples the two sides with ID embeddings.
+
+Simplifications vs the original (documented in DESIGN.md): sentence-level
+attention is dropped and the GRU is single-layer.  The paper itself notes
+DER underperforms when users average <3 reviews — the regime both the
+real corpora and the simulator are in — and that behaviour reproduces.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+import numpy as np
+
+import repro.nn as nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from ..data import InputSlots, ReviewDataset, ReviewSubset, ReviewTextTable, iter_batches
+from ..metrics import biased_rmse
+from .base import RatingModel
+
+
+class _DerModule(nn.Module):
+    """Mean-pooled review embeddings + time-aware GRU user tower."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        num_users: int,
+        num_items: int,
+        word_dim: int,
+        review_dim: int,
+        id_dim: int,
+        fm_factors: int,
+        dropout: float,
+        seed: int,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.word_embedding = nn.Embedding(vocab_size, word_dim, rng, padding_idx=0)
+        self.review_project = nn.Linear(word_dim, review_dim, rng)
+        # +1 input channel: normalized time gap to the following review.
+        self.gru = nn.GRU(review_dim + 1, review_dim, rng)
+        self.user_id_embedding = nn.Embedding(num_users, id_dim, rng)
+        self.item_id_embedding = nn.Embedding(num_items, id_dim, rng)
+        self.user_out = nn.Linear(review_dim, id_dim, rng)
+        self.item_out = nn.Linear(review_dim, id_dim, rng)
+        self.fm = nn.FactorizationMachine(2 * id_dim, fm_factors, rng)
+        self.dropout = nn.Dropout(dropout, rng)
+
+    def embed_reviews(self, slot_matrix: np.ndarray, table: ReviewTextTable) -> Tensor:
+        """Mean-pool word vectors of each slotted review → (B, s, review_dim)."""
+        batch, s = slot_matrix.shape
+        safe = np.maximum(slot_matrix.reshape(-1), 0)
+        unique, inverse = np.unique(safe, return_inverse=True)
+        vectors = self.word_embedding(table.token_ids[unique])  # (U, L, d)
+        mask = table.token_mask[unique].astype(np.float64)[:, :, None]
+        counts = np.maximum(mask.sum(axis=1), 1.0)
+        pooled = F.sum(vectors * Tensor(mask), axis=1) * Tensor(1.0 / counts)
+        projected = F.tanh(self.review_project(pooled))  # (U, review_dim)
+        return F.take_rows(projected, inverse.reshape(batch, s))
+
+    def forward(
+        self,
+        user_ids: np.ndarray,
+        item_ids: np.ndarray,
+        slots: InputSlots,
+        table: ReviewTextTable,
+        user_gaps: np.ndarray,
+    ):
+        # User tower: GRU over the chronological review sequence.
+        u_slots = slots.user_slots[user_ids]
+        u_mask = slots.user_slot_mask[user_ids]
+        u_seq = self.embed_reviews(u_slots, table)  # (B, s_u, k)
+        gaps = Tensor(user_gaps[user_ids][:, :, None])  # (B, s_u, 1)
+        _, u_state = self.gru(F.concat([u_seq, gaps], axis=-1), u_mask)
+        x_u = self.user_out(u_state)
+
+        # Item tower: masked mean of review embeddings.
+        i_slots = slots.item_slots[item_ids]
+        i_mask = slots.item_slot_mask[item_ids].astype(np.float64)[:, :, None]
+        i_seq = self.embed_reviews(i_slots, table)
+        counts = np.maximum(i_mask.sum(axis=1), 1.0)
+        y_i = self.item_out(F.sum(i_seq * Tensor(i_mask), axis=1) * Tensor(1.0 / counts))
+
+        e_u = self.user_id_embedding(user_ids)
+        e_i = self.item_id_embedding(item_ids)
+        z = self.dropout(F.concat([e_u + x_u, e_i + y_i], axis=-1))
+        return self.fm(z)
+
+
+class DER(RatingModel):
+    """Dynamic explainable recommendation baseline."""
+
+    name = "DER"
+
+    def __init__(
+        self,
+        word_dim: int = 16,
+        review_dim: int = 24,
+        id_dim: int = 8,
+        fm_factors: int = 4,
+        s_u: int = 5,
+        s_i: int = 8,
+        max_len: int = 14,
+        dropout: float = 0.1,
+        lr: float = 0.004,
+        weight_decay: float = 1e-5,
+        batch_size: int = 128,
+        epochs: int = 8,
+        max_vocab: int = 4000,
+        seed: int = 0,
+    ) -> None:
+        self.word_dim = word_dim
+        self.review_dim = review_dim
+        self.id_dim = id_dim
+        self.fm_factors = fm_factors
+        self.s_u = s_u
+        self.s_i = s_i
+        self.max_len = max_len
+        self.dropout = dropout
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self.max_vocab = max_vocab
+        self.seed = seed
+        self.module: Optional[_DerModule] = None
+        self.history: List[dict] = []
+
+    def fit(
+        self,
+        dataset: ReviewDataset,
+        train: ReviewSubset,
+        test: Optional[ReviewSubset] = None,
+    ) -> "DER":
+        rng = np.random.default_rng(self.seed)
+        self.table = ReviewTextTable.build(
+            dataset, max_len=self.max_len, max_vocab=self.max_vocab
+        )
+        self.slots = InputSlots.build(train, s_u=self.s_u, s_i=self.s_i)
+        self._user_gaps = self._time_gaps(dataset)
+        self.module = _DerModule(
+            vocab_size=len(self.table.vocab),
+            num_users=dataset.num_users,
+            num_items=dataset.num_items,
+            word_dim=self.word_dim,
+            review_dim=self.review_dim,
+            id_dim=self.id_dim,
+            fm_factors=self.fm_factors,
+            dropout=self.dropout,
+            seed=self.seed,
+        )
+        optimizer = nn.Adam(
+            self.module.parameters(), lr=self.lr, weight_decay=self.weight_decay
+        )
+        self._rating_range = (float(train.ratings.min()), float(train.ratings.max()))
+        self.history = []
+        for epoch in range(1, self.epochs + 1):
+            start = time.perf_counter()
+            self.module.train()
+            total, batches = 0.0, 0
+            for batch in iter_batches(train, self.batch_size, shuffle=True, rng=rng):
+                optimizer.zero_grad()
+                pred = self.module(
+                    batch.user_ids, batch.item_ids, self.slots, self.table, self._user_gaps
+                )
+                loss = nn.mse_loss(pred, batch.ratings)
+                loss.backward()
+                nn.clip_grad_norm(self.module.parameters(), 5.0)
+                optimizer.step()
+                total += float(loss.data)
+                batches += 1
+            record = {
+                "epoch": epoch,
+                "train_loss": total / max(batches, 1),
+                "seconds": time.perf_counter() - start,
+            }
+            if test is not None:
+                record["brmse"] = biased_rmse(
+                    self.predict_subset(test), test.ratings, test.labels
+                )
+            self.history.append(record)
+        return self
+
+    def predict(self, user_ids: np.ndarray, item_ids: np.ndarray) -> np.ndarray:
+        if self.module is None:
+            raise RuntimeError("DER is not fitted; call fit() first")
+        self.module.eval()
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        out = np.empty(len(user_ids))
+        for start in range(0, len(user_ids), 512):
+            sl = slice(start, start + 512)
+            pred = self.module(
+                user_ids[sl], item_ids[sl], self.slots, self.table, self._user_gaps
+            )
+            out[sl] = pred.data
+        low, high = getattr(self, "_rating_range", (1.0, 5.0))
+        return np.clip(out, low, high)
+
+    def predict_subset(self, subset: ReviewSubset) -> np.ndarray:
+        return self.predict(subset.user_ids, subset.item_ids)
+
+    # ------------------------------------------------------------------
+    def _time_gaps(self, dataset: ReviewDataset) -> np.ndarray:
+        """Per-slot normalized time gap to the user's next review."""
+        horizon = max(float(dataset.timestamps.max() - dataset.timestamps.min()), 1.0)
+        gaps = np.zeros((dataset.num_users, self.s_u))
+        for user, slot_row in enumerate(self.slots.user_slots):
+            # Skip padding (-1) and the virtual blank-review slot.
+            times = [
+                dataset.timestamps[idx] for idx in slot_row if 0 <= idx < len(dataset)
+            ]
+            for pos in range(len(times) - 1):
+                gaps[user, pos] = (times[pos + 1] - times[pos]) / horizon
+        return gaps

@@ -1,0 +1,96 @@
+"""ICWSM13 (Mukherjee et al. 2013): behavioural-feature classifier.
+
+"What Yelp Fake Review Filter Might Be Doing" showed that behavioural
+features (rating extremity, burstiness, activity, duplicate content...)
+carry most of the signal Yelp's filter uses.  The reproduction trains an
+L2-regularized logistic regression on the feature matrix of
+:mod:`repro.baselines.features`, implemented directly in numpy
+(full-batch gradient descent with an adaptive step).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data import ReviewDataset, ReviewSubset
+from .base import ReliabilityModel
+from .features import review_features, standardize
+
+
+class LogisticRegression:
+    """Binary logistic regression with L2 penalty (numpy, full-batch GD)."""
+
+    def __init__(self, reg: float = 1e-3, lr: float = 0.5, iterations: int = 300) -> None:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.reg = reg
+        self.lr = lr
+        self.iterations = iterations
+        self.weights: Optional[np.ndarray] = None
+        self.bias: float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or y.ndim != 1 or len(x) != len(y):
+            raise ValueError(f"bad shapes: x {x.shape}, y {y.shape}")
+        n, d = x.shape
+        self.weights = np.zeros(d)
+        self.bias = 0.0
+        lr = self.lr
+        prev_loss = np.inf
+        for _ in range(self.iterations):
+            p = self.predict_proba(x)
+            grad_w = x.T @ (p - y) / n + self.reg * self.weights
+            grad_b = float((p - y).mean())
+            self.weights -= lr * grad_w
+            self.bias -= lr * grad_b
+            loss = self._loss(x, y)
+            if loss > prev_loss:  # diverging → damp the step
+                lr *= 0.5
+            prev_loss = loss
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("LogisticRegression is not fitted")
+        z = np.asarray(x) @ self.weights + self.bias
+        return 0.5 * (1.0 + np.tanh(0.5 * z))
+
+    def _loss(self, x: np.ndarray, y: np.ndarray) -> float:
+        p = np.clip(self.predict_proba(x), 1e-12, 1 - 1e-12)
+        data_term = -np.mean(y * np.log(p) + (1 - y) * np.log(1 - p))
+        return float(data_term + 0.5 * self.reg * (self.weights**2).sum())
+
+
+class ICWSM13(ReliabilityModel):
+    """Behavioural-feature reliability baseline."""
+
+    name = "ICWSM13"
+
+    def __init__(self, reg: float = 1e-3, iterations: int = 300) -> None:
+        self.reg = reg
+        self.iterations = iterations
+        self._classifier: Optional[LogisticRegression] = None
+        self._features: Optional[np.ndarray] = None
+
+    def fit(
+        self,
+        dataset: ReviewDataset,
+        train: ReviewSubset,
+        test: Optional[ReviewSubset] = None,
+    ) -> "ICWSM13":
+        self._features = standardize(review_features(dataset))
+        x = self._features[train.index_array]
+        y = train.labels.astype(np.float64)  # 1 = benign
+        self._classifier = LogisticRegression(
+            reg=self.reg, iterations=self.iterations
+        ).fit(x, y)
+        return self
+
+    def score_subset(self, subset: ReviewSubset) -> np.ndarray:
+        if self._classifier is None or self._features is None:
+            raise RuntimeError("ICWSM13 is not fitted; call fit() first")
+        return self._classifier.predict_proba(self._features[subset.index_array])

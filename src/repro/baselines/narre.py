@@ -1,0 +1,203 @@
+"""NARRE (Chen, Zhang, Liu & Ma, WWW 2018).
+
+Neural Attentional Rating Regression with Review-level Explanations: a
+text-CNN encodes each review, a *usefulness* attention (content +
+counterpart ID, no own-ID channel) weights the reviews of each entity,
+and a factorization machine predicts the rating.  NARRE models review
+usefulness but not reliability — the closest relative of RRRE among the
+Table III baselines.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+import numpy as np
+
+import repro.nn as nn
+from repro.nn import functional as F
+
+from ..data import InputSlots, ReviewDataset, ReviewSubset, ReviewTextTable, iter_batches
+from ..metrics import biased_rmse
+from .base import RatingModel
+
+
+class _NarreModule(nn.Module):
+    """Dual attention towers + FM head."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        num_users: int,
+        num_items: int,
+        word_dim: int,
+        num_filters: int,
+        kernel_size: int,
+        id_dim: int,
+        attention_dim: int,
+        fm_factors: int,
+        dropout: float,
+        seed: int,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.word_embedding = nn.Embedding(vocab_size, word_dim, rng, padding_idx=0)
+        self.user_cnn = nn.TextCNN(word_dim, num_filters, kernel_size, rng)
+        self.item_cnn = nn.TextCNN(word_dim, num_filters, kernel_size, rng)
+        self.user_id_embedding = nn.Embedding(num_users, id_dim, rng)
+        self.item_id_embedding = nn.Embedding(num_items, id_dim, rng)
+        self.user_attention = nn.ReviewAttention(
+            num_filters, 0, id_dim, attention_dim, rng, include_own=False
+        )
+        self.item_attention = nn.ReviewAttention(
+            num_filters, 0, id_dim, attention_dim, rng, include_own=False
+        )
+        self.user_project = nn.Linear(num_filters, id_dim, rng)
+        self.item_project = nn.Linear(num_filters, id_dim, rng)
+        self.fm = nn.FactorizationMachine(2 * id_dim, fm_factors, rng)
+        self.dropout = nn.Dropout(dropout, rng)
+
+    def encode_slots(self, cnn, slot_matrix, table):
+        batch, s = slot_matrix.shape
+        safe = np.maximum(slot_matrix.reshape(-1), 0)
+        unique, inverse = np.unique(safe, return_inverse=True)
+        vectors = cnn(self.word_embedding(table.token_ids[unique]))
+        return F.take_rows(vectors, inverse.reshape(batch, s))
+
+    def forward(self, user_ids, item_ids, slots: InputSlots, table: ReviewTextTable):
+        u_rev = self.encode_slots(self.user_cnn, slots.user_slots[user_ids], table)
+        u_other = self.item_id_embedding(slots.user_slot_items[user_ids])
+        u_pooled, u_attn = self.user_attention(
+            u_rev, None, u_other, mask=slots.user_slot_mask[user_ids]
+        )
+        x_u = self.user_project(u_pooled)
+
+        i_rev = self.encode_slots(self.item_cnn, slots.item_slots[item_ids], table)
+        i_other = self.user_id_embedding(slots.item_slot_users[item_ids])
+        i_pooled, i_attn = self.item_attention(
+            i_rev, None, i_other, mask=slots.item_slot_mask[item_ids]
+        )
+        y_i = self.item_project(i_pooled)
+
+        e_u = self.user_id_embedding(user_ids)
+        e_i = self.item_id_embedding(item_ids)
+        z = self.dropout(F.concat([e_u + x_u, e_i + y_i], axis=-1))
+        return self.fm(z), u_attn, i_attn
+
+
+class NARRE(RatingModel):
+    """NARRE rating predictor over review slots."""
+
+    name = "NARRE"
+
+    def __init__(
+        self,
+        word_dim: int = 16,
+        num_filters: int = 32,
+        kernel_size: int = 3,
+        id_dim: int = 8,
+        attention_dim: int = 8,
+        fm_factors: int = 4,
+        s_u: int = 5,
+        s_i: int = 8,
+        max_len: int = 14,
+        dropout: float = 0.1,
+        lr: float = 0.004,
+        weight_decay: float = 1e-5,
+        batch_size: int = 128,
+        epochs: int = 8,
+        max_vocab: int = 4000,
+        seed: int = 0,
+    ) -> None:
+        self.word_dim = word_dim
+        self.num_filters = num_filters
+        self.kernel_size = kernel_size
+        self.id_dim = id_dim
+        self.attention_dim = attention_dim
+        self.fm_factors = fm_factors
+        self.s_u = s_u
+        self.s_i = s_i
+        self.max_len = max_len
+        self.dropout = dropout
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self.max_vocab = max_vocab
+        self.seed = seed
+        self.module: Optional[_NarreModule] = None
+        self.history: List[dict] = []
+
+    def fit(
+        self,
+        dataset: ReviewDataset,
+        train: ReviewSubset,
+        test: Optional[ReviewSubset] = None,
+    ) -> "NARRE":
+        rng = np.random.default_rng(self.seed)
+        self.table = ReviewTextTable.build(
+            dataset, max_len=self.max_len, max_vocab=self.max_vocab
+        )
+        self.slots = InputSlots.build(train, s_u=self.s_u, s_i=self.s_i)
+        self.module = _NarreModule(
+            vocab_size=len(self.table.vocab),
+            num_users=dataset.num_users,
+            num_items=dataset.num_items,
+            word_dim=self.word_dim,
+            num_filters=self.num_filters,
+            kernel_size=self.kernel_size,
+            id_dim=self.id_dim,
+            attention_dim=self.attention_dim,
+            fm_factors=self.fm_factors,
+            dropout=self.dropout,
+            seed=self.seed,
+        )
+        optimizer = nn.Adam(
+            self.module.parameters(), lr=self.lr, weight_decay=self.weight_decay
+        )
+        self._rating_range = (float(train.ratings.min()), float(train.ratings.max()))
+        self.history = []
+        for epoch in range(1, self.epochs + 1):
+            start = time.perf_counter()
+            self.module.train()
+            total, batches = 0.0, 0
+            for batch in iter_batches(train, self.batch_size, shuffle=True, rng=rng):
+                optimizer.zero_grad()
+                pred, _, _ = self.module(
+                    batch.user_ids, batch.item_ids, self.slots, self.table
+                )
+                loss = nn.mse_loss(pred, batch.ratings)
+                loss.backward()
+                nn.clip_grad_norm(self.module.parameters(), 5.0)
+                optimizer.step()
+                total += float(loss.data)
+                batches += 1
+            record = {
+                "epoch": epoch,
+                "train_loss": total / max(batches, 1),
+                "seconds": time.perf_counter() - start,
+            }
+            if test is not None:
+                record["brmse"] = biased_rmse(
+                    self.predict_subset(test), test.ratings, test.labels
+                )
+            self.history.append(record)
+        return self
+
+    def predict(self, user_ids: np.ndarray, item_ids: np.ndarray) -> np.ndarray:
+        if self.module is None:
+            raise RuntimeError("NARRE is not fitted; call fit() first")
+        self.module.eval()
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        out = np.empty(len(user_ids))
+        for start in range(0, len(user_ids), 512):
+            sl = slice(start, start + 512)
+            pred, _, _ = self.module(user_ids[sl], item_ids[sl], self.slots, self.table)
+            out[sl] = pred.data
+        low, high = getattr(self, "_rating_range", (1.0, 5.0))
+        return np.clip(out, low, high)
+
+    def predict_subset(self, subset: ReviewSubset) -> np.ndarray:
+        return self.predict(subset.user_ids, subset.item_ids)

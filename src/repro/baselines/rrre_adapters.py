@@ -1,0 +1,60 @@
+"""Adapters exposing RRRE (and the RRRE⁻ ablation) through the baseline
+interfaces, so the experiment harness treats every model uniformly."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core import RRREConfig, RRRETrainer, fast_config
+from ..data import ReviewDataset, ReviewSubset
+from .base import RatingModel, ReliabilityModel
+
+
+class RRRERating(RatingModel):
+    """RRRE as a Table III rating model (``biased=False`` gives RRRE⁻)."""
+
+    def __init__(self, config: Optional[RRREConfig] = None, biased: bool = True) -> None:
+        if config is None:
+            config = fast_config()
+        self.config = config
+        self.config.biased_loss = biased
+        self.trainer = RRRETrainer(self.config)
+        self.name = "RRRE" if biased else "RRRE-"
+
+    def fit(
+        self,
+        dataset: ReviewDataset,
+        train: ReviewSubset,
+        test: Optional[ReviewSubset] = None,
+    ) -> "RRRERating":
+        self.trainer.fit(dataset, train, test=None)
+        return self
+
+    def predict_subset(self, subset: ReviewSubset) -> np.ndarray:
+        ratings, _ = self.trainer.predict_subset(subset)
+        return ratings
+
+
+class RRREReliability(ReliabilityModel):
+    """RRRE as a Table IV-VI reliability scorer."""
+
+    name = "RRRE"
+
+    def __init__(self, config: Optional[RRREConfig] = None) -> None:
+        self.config = config or fast_config()
+        self.trainer = RRRETrainer(self.config)
+
+    def fit(
+        self,
+        dataset: ReviewDataset,
+        train: ReviewSubset,
+        test: Optional[ReviewSubset] = None,
+    ) -> "RRREReliability":
+        self.trainer.fit(dataset, train, test=None)
+        return self
+
+    def score_subset(self, subset: ReviewSubset) -> np.ndarray:
+        _, reliabilities = self.trainer.predict_subset(subset)
+        return reliabilities

@@ -1,0 +1,158 @@
+"""SVD++ and a trust-weighted variant (the paper's Sec II-C family).
+
+The paper surveys trust-aware matrix-factorization recommenders
+(TrustSVD and relatives) as the *other* road to reliable
+recommendation.  This module provides:
+
+* :class:`SVDpp` — Koren's SVD++: ratings + implicit feedback (the set
+  of items a user touched) folded into the user factor;
+* :class:`TrustWeightedSVDpp` — the implicit-feedback terms weighted by
+  a per-review trust prior (here: the unsupervised suspicion scores of
+  :mod:`repro.baselines.features`), a faithful miniature of how
+  TrustSVD folds trust into factorization.  It is an *extension*
+  comparison, not one of the paper's evaluated baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data import ReviewDataset, ReviewSubset
+from .base import RatingModel
+from .features import suspicion_priors
+
+
+class SVDpp(RatingModel):
+    """SVD++ with SGD training.
+
+    r̂_ui = μ + b_u + b_i + q_i · (p_u + |N(u)|^-1/2 Σ_{j∈N(u)} y_j)
+    """
+
+    name = "SVD++"
+
+    def __init__(
+        self,
+        factors: int = 16,
+        lr: float = 0.01,
+        reg: float = 0.05,
+        epochs: int = 20,
+        seed: int = 0,
+    ) -> None:
+        if factors < 1:
+            raise ValueError(f"factors must be >= 1, got {factors}")
+        self.factors = factors
+        self.lr = lr
+        self.reg = reg
+        self.epochs = epochs
+        self.seed = seed
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def _implicit_weights(self, dataset: ReviewDataset, train: ReviewSubset) -> np.ndarray:
+        """Per-review weight of the implicit-feedback contribution."""
+        return np.ones(len(dataset))
+
+    def fit(
+        self,
+        dataset: ReviewDataset,
+        train: ReviewSubset,
+        test: Optional[ReviewSubset] = None,
+    ) -> "SVDpp":
+        rng = np.random.default_rng(self.seed)
+        n_users, n_items = dataset.num_users, dataset.num_items
+        self.user_factors = rng.normal(0, 0.1, (n_users, self.factors))
+        self.item_factors = rng.normal(0, 0.1, (n_items, self.factors))
+        self.implicit_factors = rng.normal(0, 0.1, (n_items, self.factors))
+        self.user_bias = np.zeros(n_users)
+        self.item_bias = np.zeros(n_items)
+        self.global_mean = float(train.ratings.mean())
+
+        weights = self._implicit_weights(dataset, train)
+        train_set = set(int(i) for i in train.index_array)
+        # N(u): (item, weight) pairs from the user's training reviews.
+        self._neighbourhoods = []
+        for user in range(n_users):
+            pairs = [
+                (dataset.item_ids[idx], weights[idx])
+                for idx in dataset.reviews_by_user[user]
+                if idx in train_set
+            ]
+            self._neighbourhoods.append(pairs)
+
+        users, items, ratings = train.user_ids, train.item_ids, train.ratings
+        order = np.arange(len(users))
+        for _ in range(self.epochs):
+            rng.shuffle(order)
+            for idx in order:
+                u, i, r = int(users[idx]), int(items[idx]), ratings[idx]
+                implicit, norm = self._implicit_vector(u)
+                pu = self.user_factors[u]
+                qi = self.item_factors[i]
+                pred = (
+                    self.global_mean
+                    + self.user_bias[u]
+                    + self.item_bias[i]
+                    + qi @ (pu + implicit)
+                )
+                err = r - pred
+                self.user_bias[u] += self.lr * (err - self.reg * self.user_bias[u])
+                self.item_bias[i] += self.lr * (err - self.reg * self.item_bias[i])
+                self.user_factors[u] += self.lr * (err * qi - self.reg * pu)
+                self.item_factors[i] += self.lr * (err * (pu + implicit) - self.reg * qi)
+                if norm > 0:
+                    for j, w in self._neighbourhoods[u]:
+                        yj = self.implicit_factors[j]
+                        self.implicit_factors[j] += self.lr * (
+                            err * (w / norm) * qi - self.reg * yj
+                        )
+        self._fitted = True
+        return self
+
+    def _implicit_vector(self, user: int):
+        pairs = self._neighbourhoods[user]
+        if not pairs:
+            return np.zeros(self.factors), 0.0
+        norm = np.sqrt(sum(w for _, w in pairs))
+        if norm == 0:
+            return np.zeros(self.factors), 0.0
+        vec = np.zeros(self.factors)
+        for j, w in pairs:
+            vec += w * self.implicit_factors[j]
+        return vec / norm, norm
+
+    # ------------------------------------------------------------------
+    def predict(self, user_ids: np.ndarray, item_ids: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError(f"{self.name} is not fitted; call fit() first")
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        out = np.empty(len(user_ids))
+        for pos, (u, i) in enumerate(zip(user_ids, item_ids)):
+            implicit, _ = self._implicit_vector(int(u))
+            out[pos] = (
+                self.global_mean
+                + self.user_bias[u]
+                + self.item_bias[i]
+                + self.item_factors[i] @ (self.user_factors[u] + implicit)
+            )
+        return out
+
+    def predict_subset(self, subset: ReviewSubset) -> np.ndarray:
+        return self.predict(subset.user_ids, subset.item_ids)
+
+
+class TrustWeightedSVDpp(SVDpp):
+    """SVD++ whose implicit feedback is weighted by review trust priors.
+
+    Reviews that look fraudulent (high unsupervised suspicion) barely
+    contribute to the user's implicit profile — the TrustSVD idea with
+    the trust signal coming from review reliability instead of a social
+    network.
+    """
+
+    name = "TrustSVD++"
+
+    def _implicit_weights(self, dataset: ReviewDataset, train: ReviewSubset) -> np.ndarray:
+        return 1.0 - suspicion_priors(dataset)

@@ -1,0 +1,48 @@
+"""``repro.core`` — the RRRE model, trainer, and recommendation pipeline."""
+
+from .config import RRREConfig, fast_config
+from .inspect import (
+    AttendedReview,
+    attention_fake_discount,
+    item_profile_attention,
+    user_profile_attention,
+)
+from .encoder import (
+    BiLSTMReviewEncoder,
+    CNNReviewEncoder,
+    MeanReviewEncoder,
+    make_encoder,
+)
+from .losses import JointLossParts, joint_loss
+from .model import BENIGN_CLASS, RRRE, RRREOutput
+from .nets import EntityNet
+from .recommend import Explanation, Recommendation, explain_item, recommend_items
+from .semisupervised import SelfTrainingState, SemiSupervisedRRRETrainer
+from .trainer import EpochRecord, RRRETrainer
+
+__all__ = [
+    "AttendedReview",
+    "BENIGN_CLASS",
+    "BiLSTMReviewEncoder",
+    "CNNReviewEncoder",
+    "EntityNet",
+    "EpochRecord",
+    "Explanation",
+    "JointLossParts",
+    "MeanReviewEncoder",
+    "RRRE",
+    "RRREConfig",
+    "RRREOutput",
+    "RRRETrainer",
+    "Recommendation",
+    "SelfTrainingState",
+    "SemiSupervisedRRRETrainer",
+    "attention_fake_discount",
+    "explain_item",
+    "item_profile_attention",
+    "fast_config",
+    "joint_loss",
+    "make_encoder",
+    "recommend_items",
+    "user_profile_attention",
+]

@@ -1,0 +1,53 @@
+"""Joint optimization objective of RRRE (Eq. 11, 13-15)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import cross_entropy_loss, mse_loss, weighted_mse_loss
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class JointLossParts:
+    """The combined loss tensor plus its scalar components for logging."""
+
+    total: Tensor
+    reliability_loss: float  # loss1 (Eq. 11)
+    rating_loss: float  # loss2 (Eq. 13 or 14, sans the L2 term)
+
+
+def joint_loss(
+    rating_pred: Tensor,
+    reliability_logits: Tensor,
+    ratings: np.ndarray,
+    labels: np.ndarray,
+    lambda_weight: float,
+    biased: bool = True,
+) -> JointLossParts:
+    """L = λ·loss1 + (1−λ)·loss2 (Eq. 15).
+
+    ``biased=True`` uses the reliability-weighted rating loss of Eq. 14
+    (RRRE); ``False`` the plain MSE of Eq. 13 (the RRRE⁻ ablation).  The
+    γΣ||ε||² regularizer of Eq. 13/14 is applied as optimizer weight
+    decay rather than in the loss graph (mathematically equivalent for
+    SGD and the conventional choice for Adam).
+    """
+    if not 0.0 <= lambda_weight <= 1.0:
+        raise ValueError(f"lambda_weight must be in [0, 1], got {lambda_weight}")
+    labels = np.asarray(labels, dtype=np.int64)
+    ratings = np.asarray(ratings, dtype=np.float64)
+
+    loss1 = cross_entropy_loss(reliability_logits, labels)
+    if biased:
+        loss2 = weighted_mse_loss(rating_pred, ratings, labels.astype(np.float64))
+    else:
+        loss2 = mse_loss(rating_pred, ratings)
+    total = lambda_weight * loss1 + (1.0 - lambda_weight) * loss2
+    return JointLossParts(
+        total=total,
+        reliability_loss=float(loss1.data),
+        rating_loss=float(loss2.data),
+    )

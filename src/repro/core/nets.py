@@ -1,0 +1,85 @@
+"""UserNet / ItemNet: fraud-attention aggregation of review encodings.
+
+Sec III-D: each entity's m review encodings are weighted by the
+fraud-attention (Eq. 5-6), summed (Eq. 7) and projected (Eq. 8).  The
+same class serves both sides; only the "own"/"other" ID tables differ.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+import repro.nn as nn
+from repro.nn.tensor import Tensor
+
+
+class EntityNet(nn.Module):
+    """Profile an entity (user or item) from its review slots.
+
+    Parameters
+    ----------
+    review_dim:
+        Width of each review encoding.
+    own_dim / other_dim:
+        Widths of the profiled entity's and counterpart's ID embeddings.
+    attention_dim:
+        Fraud-attention hidden width.
+    profile_dim:
+        Output width of the final projection (Eq. 8); defaults to
+        ``review_dim``.
+    pooling:
+        ``"attention"`` (the paper's fraud-attention) or ``"mean"``
+        (uniform pooling over unmasked slots — the ablation that shows
+        what the attention buys).
+    """
+
+    def __init__(
+        self,
+        review_dim: int,
+        own_dim: int,
+        other_dim: int,
+        attention_dim: int,
+        rng: np.random.Generator,
+        profile_dim: Optional[int] = None,
+        pooling: str = "attention",
+    ) -> None:
+        super().__init__()
+        if pooling not in ("attention", "mean"):
+            raise ValueError(f"pooling must be 'attention' or 'mean', got {pooling!r}")
+        self.pooling = pooling
+        if pooling == "attention":
+            self.attention = nn.ReviewAttention(
+                review_dim=review_dim,
+                own_dim=own_dim,
+                other_dim=other_dim,
+                attention_dim=attention_dim,
+                rng=rng,
+            )
+        self.profile_dim = profile_dim or review_dim
+        self.project = nn.Linear(review_dim, self.profile_dim, rng)  # W_f, b_f
+
+    def forward(
+        self,
+        review_vectors: Tensor,
+        own_embedding: Tensor,
+        other_embeddings: Tensor,
+        slot_mask: np.ndarray,
+    ) -> Tuple[Tensor, Tensor]:
+        """Return ``(profile (B, profile_dim), attention_weights (B, m))``."""
+        if self.pooling == "attention":
+            pooled, weights = self.attention(
+                review_vectors, own_embedding, other_embeddings, mask=slot_mask
+            )
+        else:
+            mask = np.asarray(slot_mask, dtype=np.float64)
+            uniform = mask / np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
+            weights = Tensor(uniform)
+            pooled = nn.functional.squeeze(
+                nn.functional.matmul(
+                    nn.functional.expand_dims(weights, 1), review_vectors
+                ),
+                axis=1,
+            )
+        return self.project(pooled), weights

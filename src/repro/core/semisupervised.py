@@ -1,0 +1,215 @@
+"""Semi-supervised RRRE (the paper's stated future work, Sec V).
+
+The paper's conclusion: "we will improve the design of our model to
+facilitate semi-supervised learning so that it can easily adapt to new
+users and items".  This module implements that extension as
+*self-training*:
+
+1. only a fraction of the training reviews keep their reliability
+   labels; the rest are treated as unlabeled;
+2. the reliability loss (Eq. 11) is computed over labeled reviews only,
+   and the biased rating loss (Eq. 14) weights unlabeled reviews by the
+   model's own (detached) reliability estimate instead of the label;
+3. after each round, confident predictions on unlabeled reviews become
+   pseudo-labels and training continues.
+
+With a 10-20 % label budget this recovers most of the fully supervised
+AUC — the experiment in ``benchmarks/bench_ext_semisupervised.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn import Adam, clip_grad_norm, cross_entropy_loss, weighted_mse_loss
+from repro.nn import functional as F
+
+from ..data import InputSlots, ReviewDataset, ReviewSubset, ReviewTextTable, iter_batches
+from .config import RRREConfig
+from .model import RRRE
+from .trainer import EpochRecord, RRRETrainer
+
+
+@dataclass
+class SelfTrainingState:
+    """Bookkeeping of the label budget and pseudo-labels."""
+
+    labeled_mask: np.ndarray  # over the full dataset; True = label visible
+    soft_weights: np.ndarray  # per-review rating-loss weight in [0, 1]
+    pseudo_labeled: int = 0
+
+
+class SemiSupervisedRRRETrainer(RRRETrainer):
+    """RRRE trained with a partial reliability-label budget.
+
+    Parameters
+    ----------
+    config:
+        Standard :class:`RRREConfig`; ``config.epochs`` is the epoch
+        count *per self-training round*.
+    label_fraction:
+        Fraction of training reviews whose labels are visible.
+    rounds:
+        Self-training rounds (1 = no pseudo-labeling, just masked loss).
+    confidence:
+        Pseudo-labels are only adopted when the predicted reliability is
+        below ``1 - confidence`` (fake) or above ``confidence`` (benign).
+    """
+
+    def __init__(
+        self,
+        config: Optional[RRREConfig] = None,
+        label_fraction: float = 0.2,
+        rounds: int = 2,
+        confidence: float = 0.9,
+    ) -> None:
+        super().__init__(config)
+        if not 0.0 < label_fraction <= 1.0:
+            raise ValueError(f"label_fraction must be in (0, 1], got {label_fraction}")
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        if not 0.5 < confidence < 1.0:
+            raise ValueError(f"confidence must be in (0.5, 1), got {confidence}")
+        self.label_fraction = label_fraction
+        self.rounds = rounds
+        self.confidence = confidence
+        self.state: Optional[SelfTrainingState] = None
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        dataset: ReviewDataset,
+        train: ReviewSubset,
+        test: Optional[ReviewSubset] = None,
+        verbose: bool = False,
+    ) -> "SemiSupervisedRRRETrainer":
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        self.dataset = dataset
+        self.table = ReviewTextTable.build(
+            dataset, max_len=cfg.max_len, min_count=cfg.min_word_count, max_vocab=cfg.max_vocab
+        )
+        self.slots = InputSlots.build(train, s_u=cfg.s_u, s_i=cfg.s_i)
+        self._rating_range = (float(train.ratings.min()), float(train.ratings.max()))
+        self.model = RRRE(
+            cfg,
+            num_users=dataset.num_users,
+            num_items=dataset.num_items,
+            vocab_size=len(self.table.vocab),
+        )
+
+        # Label budget over the training reviews.
+        train_idx = train.index_array
+        visible = rng.random(len(train_idx)) < self.label_fraction
+        labeled_mask = np.zeros(len(dataset), dtype=bool)
+        labeled_mask[train_idx[visible]] = True
+        if not labeled_mask.any():
+            raise ValueError("label budget left zero labeled reviews; raise label_fraction")
+
+        # Unlabeled reviews start at the labeled benign base rate.
+        base_rate = float(dataset.labels[labeled_mask].mean())
+        soft = np.full(len(dataset), base_rate)
+        soft[labeled_mask] = dataset.labels[labeled_mask].astype(np.float64)
+        self.state = SelfTrainingState(labeled_mask=labeled_mask, soft_weights=soft)
+
+        optimizer = Adam(self.model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay)
+        self.history = []
+        for round_no in range(1, self.rounds + 1):
+            for epoch in range(1, cfg.epochs + 1):
+                record = self._train_epoch(train, optimizer, rng, round_no, epoch)
+                if test is not None:
+                    record.eval_metrics = self.evaluate(test)
+                self.history.append(record)
+                if verbose:
+                    extra = " ".join(
+                        f"{k}={v:.4f}" for k, v in record.eval_metrics.items()
+                    )
+                    print(
+                        f"[{dataset.name}] round {round_no} epoch {epoch} "
+                        f"loss={record.train_loss:.4f} {extra}"
+                    )
+            if round_no < self.rounds:
+                self._adopt_pseudo_labels(train)
+                if verbose:
+                    print(
+                        f"[{dataset.name}] round {round_no}: "
+                        f"{self.state.pseudo_labeled} pseudo-labels adopted"
+                    )
+        return self
+
+    # ------------------------------------------------------------------
+    def _train_epoch(self, train, optimizer, rng, round_no, epoch) -> EpochRecord:
+        cfg = self.config
+        start = time.perf_counter()
+        self.model.train()
+        sums = np.zeros(3)
+        batches = 0
+        for batch in iter_batches(train, cfg.batch_size, shuffle=True, rng=rng):
+            optimizer.zero_grad()
+            out = self.model(batch.user_ids, batch.item_ids, self.slots, self.table)
+
+            labeled = self.state.labeled_mask[batch.review_indices]
+            weights = self.state.soft_weights[batch.review_indices]
+
+            # Reliability CE over the labeled rows only (Eq. 11, masked).
+            if labeled.any():
+                rows = np.flatnonzero(labeled)
+                logits = F.getitem(out.reliability_logits, (rows,))
+                loss1 = cross_entropy_loss(logits, batch.labels[rows])
+            else:
+                loss1 = None
+
+            # Rating loss weighted by labels / soft pseudo-weights (Eq. 14).
+            loss2 = weighted_mse_loss(out.rating, batch.ratings, weights)
+
+            if loss1 is None:
+                total = loss2
+                loss1_value = 0.0
+            else:
+                total = cfg.lambda_weight * loss1 + (1.0 - cfg.lambda_weight) * loss2
+                loss1_value = float(loss1.data)
+            total.backward()
+            clip_grad_norm(self.model.parameters(), cfg.grad_clip)
+            optimizer.step()
+            sums += (float(total.data), loss1_value, float(loss2.data))
+            batches += 1
+        return EpochRecord(
+            epoch=(round_no - 1) * cfg.epochs + epoch,
+            train_loss=sums[0] / max(batches, 1),
+            reliability_loss=sums[1] / max(batches, 1),
+            rating_loss=sums[2] / max(batches, 1),
+            seconds=time.perf_counter() - start,
+        )
+
+    def _adopt_pseudo_labels(self, train) -> None:
+        """Turn confident predictions on unlabeled train reviews into labels."""
+        state = self.state
+        unlabeled = train.index_array[~state.labeled_mask[train.index_array]]
+        if len(unlabeled) == 0:
+            return
+        users = self.dataset.user_ids[unlabeled]
+        items = self.dataset.item_ids[unlabeled]
+        _, reliability = self.predict_pairs(users, items)
+
+        confident_benign = reliability >= self.confidence
+        confident_fake = reliability <= 1.0 - self.confidence
+        adopted = unlabeled[confident_benign | confident_fake]
+        state.soft_weights[unlabeled] = np.clip(reliability, 0.0, 1.0)
+        state.soft_weights[unlabeled[confident_benign]] = 1.0
+        state.soft_weights[unlabeled[confident_fake]] = 0.0
+        state.pseudo_labeled = int(len(adopted))
+
+    # ------------------------------------------------------------------
+    def label_budget_summary(self) -> Dict[str, float]:
+        """How much supervision the model actually used."""
+        if self.state is None:
+            raise RuntimeError("trainer is not fitted; call fit() first")
+        return {
+            "labeled": int(self.state.labeled_mask.sum()),
+            "pseudo_labeled": self.state.pseudo_labeled,
+            "label_fraction": self.label_fraction,
+        }

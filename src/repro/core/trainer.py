@@ -1,0 +1,235 @@
+"""Training/evaluation loop for RRRE.
+
+The trainer owns everything derived from a dataset: vocabulary, token
+table, input slots, optional pretrained word vectors, the model, and the
+optimizer.  It records per-epoch history (loss components, wall time,
+and — when a test split is supplied — bRMSE/AUC/AP), which directly
+feeds the Fig. 2-4 benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import Adam, clip_grad_norm
+
+from ..data import (
+    InputSlots,
+    ReviewDataset,
+    ReviewSubset,
+    ReviewTextTable,
+    iter_batches,
+)
+from ..metrics import auc, average_precision, biased_rmse, ndcg_at_k, rmse
+from ..text import train_skipgram
+from .config import RRREConfig
+from .losses import joint_loss
+from .model import RRRE
+
+
+@dataclass
+class EpochRecord:
+    """One row of training history."""
+
+    epoch: int
+    train_loss: float
+    reliability_loss: float
+    rating_loss: float
+    seconds: float
+    eval_metrics: Dict[str, float] = field(default_factory=dict)
+
+
+class RRRETrainer:
+    """Fit and apply RRRE on one dataset.
+
+    Typical use::
+
+        trainer = RRRETrainer(RRREConfig())
+        trainer.fit(dataset, train, test)
+        metrics = trainer.evaluate(test)
+        ratings, reliabilities = trainer.predict_pairs(users, items)
+    """
+
+    def __init__(self, config: Optional[RRREConfig] = None) -> None:
+        self.config = config or RRREConfig()
+        self.model: Optional[RRRE] = None
+        self.table: Optional[ReviewTextTable] = None
+        self.slots: Optional[InputSlots] = None
+        self.dataset: Optional[ReviewDataset] = None
+        self.history: List[EpochRecord] = []
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        dataset: ReviewDataset,
+        train: ReviewSubset,
+        test: Optional[ReviewSubset] = None,
+        verbose: bool = False,
+    ) -> "RRRETrainer":
+        """Train on ``train``; optionally evaluate on ``test`` per epoch."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        self.dataset = dataset
+        self.table = ReviewTextTable.build(
+            dataset,
+            max_len=cfg.max_len,
+            min_count=cfg.min_word_count,
+            max_vocab=cfg.max_vocab,
+        )
+        self.slots = InputSlots.build(train, s_u=cfg.s_u, s_i=cfg.s_i)
+        self._rating_range = (float(train.ratings.min()), float(train.ratings.max()))
+
+        self.model = RRRE(
+            cfg,
+            num_users=dataset.num_users,
+            num_items=dataset.num_items,
+            vocab_size=len(self.table.vocab),
+        )
+        if cfg.pretrain_words:
+            train_tokens = [dataset.tokens[int(i)] for i in train.index_array]
+            vectors = train_skipgram(
+                train_tokens,
+                self.table.vocab,
+                dim=cfg.word_dim,
+                epochs=1,
+                seed=cfg.seed,
+            )
+            self.model.word_embedding.load_pretrained(vectors)
+
+        optimizer = Adam(
+            self.model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay
+        )
+        self.history = []
+        for epoch in range(1, cfg.epochs + 1):
+            start = time.perf_counter()
+            self.model.train()
+            sums = np.zeros(3)
+            n_batches = 0
+            for batch in iter_batches(train, cfg.batch_size, shuffle=True, rng=rng):
+                optimizer.zero_grad()
+                out = self.model(batch.user_ids, batch.item_ids, self.slots, self.table)
+                parts = joint_loss(
+                    out.rating,
+                    out.reliability_logits,
+                    batch.ratings,
+                    batch.labels,
+                    lambda_weight=cfg.lambda_weight,
+                    biased=cfg.biased_loss,
+                )
+                parts.total.backward()
+                clip_grad_norm(self.model.parameters(), cfg.grad_clip)
+                optimizer.step()
+                sums += (float(parts.total.data), parts.reliability_loss, parts.rating_loss)
+                n_batches += 1
+            seconds = time.perf_counter() - start
+
+            record = EpochRecord(
+                epoch=epoch,
+                train_loss=sums[0] / max(n_batches, 1),
+                reliability_loss=sums[1] / max(n_batches, 1),
+                rating_loss=sums[2] / max(n_batches, 1),
+                seconds=seconds,
+            )
+            if test is not None:
+                record.eval_metrics = self.evaluate(test)
+            self.history.append(record)
+            if verbose:
+                extra = " ".join(f"{k}={v:.4f}" for k, v in record.eval_metrics.items())
+                print(
+                    f"[{dataset.name}] epoch {epoch}/{cfg.epochs} "
+                    f"loss={record.train_loss:.4f} ({seconds:.1f}s) {extra}"
+                )
+        return self
+
+    # ------------------------------------------------------------------
+    def predict_pairs(
+        self,
+        user_ids: np.ndarray,
+        item_ids: np.ndarray,
+        batch_size: int = 512,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Predict ``(ratings, reliability scores)`` for (u, i) pairs."""
+        self._require_fitted()
+        self.model.eval()
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        ratings = np.empty(len(user_ids))
+        reliabilities = np.empty(len(user_ids))
+        for start in range(0, len(user_ids), batch_size):
+            sl = slice(start, start + batch_size)
+            out = self.model(user_ids[sl], item_ids[sl], self.slots, self.table)
+            ratings[sl] = out.rating.data
+            reliabilities[sl] = out.reliability
+        # Ratings live on a bounded scale; clip to the observed range.
+        low, high = getattr(self, "_rating_range", (1.0, 5.0))
+        np.clip(ratings, low, high, out=ratings)
+        return ratings, reliabilities
+
+    def predict_subset(self, subset: ReviewSubset) -> Tuple[np.ndarray, np.ndarray]:
+        """Predict over the (u, i) pairs of a review subset."""
+        return self.predict_pairs(subset.user_ids, subset.item_ids)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, subset: ReviewSubset, ndcg_ks: Tuple[int, ...] = ()) -> Dict[str, float]:
+        """Score the paper's metrics on a subset.
+
+        Returns bRMSE/RMSE for ratings and AUC/AP (plus optional NDCG@k)
+        for reliability.  AUC/AP are skipped if the subset is single-class.
+        """
+        ratings, reliabilities = self.predict_subset(subset)
+        metrics: Dict[str, float] = {
+            "brmse": biased_rmse(ratings, subset.ratings, subset.labels),
+            "rmse": rmse(ratings, subset.ratings),
+        }
+        labels = subset.labels
+        if 0 < labels.sum() < len(labels):
+            metrics["auc"] = auc(reliabilities, labels)
+            metrics["ap"] = average_precision(reliabilities, labels)
+            for k in ndcg_ks:
+                metrics[f"ndcg@{k}"] = ndcg_at_k(reliabilities, labels, k)
+        return metrics
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Save the trained parameters (``.npz``).
+
+        Only the model weights are stored; reloading requires the same
+        dataset (the vocabulary, token table, and slots are rebuilt from
+        it deterministically).
+        """
+        self._require_fitted()
+        state = self.model.state_dict()
+        np.savez_compressed(path, **state)
+
+    def load(self, path, dataset: ReviewDataset, train: ReviewSubset) -> "RRRETrainer":
+        """Rebuild derived structures from ``dataset`` and load weights."""
+        cfg = self.config
+        self.dataset = dataset
+        self._rating_range = (float(train.ratings.min()), float(train.ratings.max()))
+        self.table = ReviewTextTable.build(
+            dataset,
+            max_len=cfg.max_len,
+            min_count=cfg.min_word_count,
+            max_vocab=cfg.max_vocab,
+        )
+        self.slots = InputSlots.build(train, s_u=cfg.s_u, s_i=cfg.s_i)
+        self.model = RRRE(
+            cfg,
+            num_users=dataset.num_users,
+            num_items=dataset.num_items,
+            vocab_size=len(self.table.vocab),
+        )
+        with np.load(path) as archive:
+            self.model.load_state_dict({key: archive[key] for key in archive.files})
+        return self
+
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> None:
+        if self.model is None:
+            raise RuntimeError("trainer is not fitted; call fit() first")

@@ -1,0 +1,61 @@
+"""``repro.data`` — review data model, platform simulator, and loaders."""
+
+from .analysis import (
+    AttackSummary,
+    attacked_items,
+    degree_quantiles,
+    describe,
+    fake_rating_gap,
+    rating_histogram,
+)
+from .batching import Batch, iter_batches
+from .catalogs import (
+    DATASET_NAMES,
+    PAPER_STATISTICS,
+    load_all,
+    load_dataset,
+    preset_config,
+)
+from .corpora import MUSIC, RESTAURANTS, Domain, ReviewWriter, domain_for
+from .io import load_dataset_jsonl, save_dataset_jsonl
+from .loaders import load_amazon_json, load_yelp_metadata
+from .review import BENIGN, FAKE, Review, ReviewDataset, ReviewSubset
+from .sampling import InputSlots, ReviewTextTable
+from .splits import train_test_split
+from .synthetic import PlatformConfig, PlatformTruth, generate_platform
+
+__all__ = [
+    "AttackSummary",
+    "BENIGN",
+    "Batch",
+    "DATASET_NAMES",
+    "Domain",
+    "FAKE",
+    "InputSlots",
+    "MUSIC",
+    "PAPER_STATISTICS",
+    "PlatformConfig",
+    "PlatformTruth",
+    "RESTAURANTS",
+    "Review",
+    "ReviewDataset",
+    "ReviewSubset",
+    "ReviewTextTable",
+    "ReviewWriter",
+    "attacked_items",
+    "degree_quantiles",
+    "describe",
+    "domain_for",
+    "fake_rating_gap",
+    "generate_platform",
+    "iter_batches",
+    "load_all",
+    "load_amazon_json",
+    "load_dataset",
+    "load_dataset_jsonl",
+    "load_yelp_metadata",
+    "preset_config",
+    "rating_histogram",
+    "save_dataset_jsonl",
+    "train_test_split",
+]

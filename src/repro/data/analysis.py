@@ -1,0 +1,116 @@
+"""Dataset analysis: distribution summaries and attack forensics.
+
+Text-mode analytics over a :class:`~repro.data.ReviewDataset` — the
+checks one runs before trusting any benchmark number: degree and rating
+distributions, fake-share concentration, and per-item attack summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from .review import FAKE, ReviewDataset
+
+
+def rating_histogram(dataset: ReviewDataset) -> Dict[float, int]:
+    """Count of reviews per rating value, split not applied."""
+    values, counts = np.unique(dataset.ratings, return_counts=True)
+    return {float(v): int(c) for v, c in zip(values, counts)}
+
+
+def degree_quantiles(
+    degrees: np.ndarray, quantiles=(0.0, 0.25, 0.5, 0.75, 0.95, 1.0)
+) -> Dict[str, float]:
+    """Named quantiles of a degree array."""
+    degrees = np.asarray(degrees)
+    if degrees.size == 0:
+        raise ValueError("empty degree array")
+    return {f"q{int(100 * q)}": float(np.quantile(degrees, q)) for q in quantiles}
+
+
+@dataclass(frozen=True)
+class AttackSummary:
+    """Fraud exposure of one item."""
+
+    item_id: int
+    item_name: str
+    total_reviews: int
+    fake_reviews: int
+    fake_share: float
+    rating_shift: float  # mean(all ratings) − mean(benign ratings)
+
+
+def attacked_items(dataset: ReviewDataset, min_fakes: int = 1) -> List[AttackSummary]:
+    """Per-item attack summaries, most-attacked first.
+
+    ``rating_shift`` measures how far the fakes drag the item's visible
+    mean rating — the quantity a rating model inherits if it trusts
+    everything.
+    """
+    summaries: List[AttackSummary] = []
+    for item in range(dataset.num_items):
+        indices = np.asarray(dataset.reviews_by_item[item])
+        if len(indices) == 0:
+            continue
+        labels = dataset.labels[indices]
+        fakes = int((labels == FAKE).sum())
+        if fakes < min_fakes:
+            continue
+        ratings = dataset.ratings[indices]
+        benign_ratings = ratings[labels != FAKE]
+        shift = (
+            float(ratings.mean() - benign_ratings.mean())
+            if len(benign_ratings)
+            else float("nan")
+        )
+        summaries.append(
+            AttackSummary(
+                item_id=item,
+                item_name=dataset.item_names[item],
+                total_reviews=int(len(indices)),
+                fake_reviews=fakes,
+                fake_share=fakes / len(indices),
+                rating_shift=shift,
+            )
+        )
+    summaries.sort(key=lambda s: -s.fake_reviews)
+    return summaries
+
+
+def fake_rating_gap(dataset: ReviewDataset) -> float:
+    """mean(fake ratings) − mean(benign ratings): the net attack polarity.
+
+    Positive → promotion-dominated spam; negative → demotion-dominated.
+    """
+    fake_mask = dataset.labels == FAKE
+    if not fake_mask.any() or fake_mask.all():
+        raise ValueError("need both fake and benign reviews")
+    return float(dataset.ratings[fake_mask].mean() - dataset.ratings[~fake_mask].mean())
+
+
+def describe(dataset: ReviewDataset, top_attacked: int = 3) -> str:
+    """Multi-line text report of a dataset's shape and attack surface."""
+    stats = dataset.statistics()
+    lines = [
+        f"dataset {dataset.name!r}: {stats['reviews']:.0f} reviews, "
+        f"{stats['users']:.0f} users, {stats['items']:.0f} items, "
+        f"{100 * stats['fake_fraction']:.1f}% fake",
+        f"  user degree: {degree_quantiles(dataset.user_degrees())}",
+        f"  item degree: {degree_quantiles(dataset.item_degrees())}",
+        f"  ratings: {rating_histogram(dataset)}",
+    ]
+    try:
+        lines.append(f"  fake-vs-benign rating gap: {fake_rating_gap(dataset):+.2f}")
+    except ValueError:
+        lines.append("  fake-vs-benign rating gap: n/a (single-class data)")
+    attacks = attacked_items(dataset)
+    lines.append(f"  attacked items: {len(attacks)}")
+    for summary in attacks[:top_attacked]:
+        lines.append(
+            f"    {summary.item_name}: {summary.fake_reviews}/{summary.total_reviews} "
+            f"fake, visible-mean shift {summary.rating_shift:+.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Mini-batch iteration over review subsets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from .review import ReviewSubset
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One mini-batch of review examples (column arrays)."""
+
+    review_indices: np.ndarray  # indices into the parent dataset
+    user_ids: np.ndarray
+    item_ids: np.ndarray
+    ratings: np.ndarray
+    labels: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.review_indices)
+
+
+def iter_batches(
+    subset: ReviewSubset,
+    batch_size: int,
+    shuffle: bool = True,
+    rng: Optional[np.random.Generator] = None,
+    drop_last: bool = False,
+) -> Iterator[Batch]:
+    """Yield :class:`Batch` objects over ``subset``.
+
+    ``drop_last`` discards a trailing partial batch (useful when a model
+    caches per-batch buffers).
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    order = subset.index_array.copy()
+    if shuffle:
+        if rng is None:
+            rng = np.random.default_rng()
+        rng.shuffle(order)
+    parent = subset.parent
+    for start in range(0, len(order), batch_size):
+        chunk = order[start : start + batch_size]
+        if drop_last and len(chunk) < batch_size:
+            return
+        yield Batch(
+            review_indices=chunk,
+            user_ids=parent.user_ids[chunk],
+            item_ids=parent.item_ids[chunk],
+            ratings=parent.ratings[chunk],
+            labels=parent.labels[chunk],
+        )

@@ -1,0 +1,90 @@
+"""Dataset persistence: JSON-lines export/import.
+
+A generated platform can be frozen to disk and reloaded byte-identically
+— useful for sharing exact experimental inputs and for diffing simulator
+versions.  One JSON object per review plus a leading header object.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .review import Review, ReviewDataset
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset_jsonl(dataset: ReviewDataset, path: PathLike) -> None:
+    """Write a dataset as JSON-lines (header line + one line per review)."""
+    path = Path(path)
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "name": dataset.name,
+        "num_users": dataset.num_users,
+        "num_items": dataset.num_items,
+        "user_names": dataset.user_names,
+        "item_names": dataset.item_names,
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(json.dumps(header) + "\n")
+        for review in dataset.reviews:
+            f.write(
+                json.dumps(
+                    {
+                        "u": review.user_id,
+                        "i": review.item_id,
+                        "r": review.rating,
+                        "l": review.label,
+                        "t": review.timestamp,
+                        "w": review.text,
+                    }
+                )
+                + "\n"
+            )
+
+
+def load_dataset_jsonl(path: PathLike) -> ReviewDataset:
+    """Read a dataset written by :func:`save_dataset_jsonl`."""
+    path = Path(path)
+    with open(path, encoding="utf-8") as f:
+        header_line = f.readline()
+        if not header_line.strip():
+            raise ValueError(f"{path}: empty file")
+        header = json.loads(header_line)
+        version = header.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported format_version {version!r} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        reviews = []
+        for line_no, line in enumerate(f, 2):
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            try:
+                reviews.append(
+                    Review(
+                        user_id=int(obj["u"]),
+                        item_id=int(obj["i"]),
+                        rating=float(obj["r"]),
+                        label=int(obj["l"]),
+                        text=str(obj["w"]),
+                        timestamp=float(obj["t"]),
+                    )
+                )
+            except (KeyError, TypeError) as exc:
+                raise ValueError(f"{path}:{line_no}: malformed review record") from exc
+    if not reviews:
+        raise ValueError(f"{path}: no review records after the header")
+    return ReviewDataset(
+        reviews,
+        name=header.get("name", "dataset"),
+        user_names=header.get("user_names"),
+        item_names=header.get("item_names"),
+    )

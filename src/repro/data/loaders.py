@@ -1,0 +1,176 @@
+"""Loaders for the real dataset formats the paper uses.
+
+The corpora themselves cannot ship with this repository, but users who
+obtain them can drop them in:
+
+* **Rayana & Akoglu Yelp releases** (YelpChi/YelpNYC/YelpZip): a
+  ``metadata`` file with lines ``user_id item_id rating label date`` and a
+  parallel ``reviewContent`` file with lines
+  ``user_id item_id date text``.  Label is ``-1`` (filtered → fake) or
+  ``1`` (recommended → benign).
+* **Amazon JSON-lines** (McAuley releases): one JSON object per line with
+  ``reviewerID``, ``asin``, ``overall``, ``helpful: [up, total]``,
+  ``unixReviewTime``, ``reviewText``.  Following the paper, only users
+  with ≥ ``min_votes`` total helpfulness votes are kept; a review is
+  benign when helpful/total ≥ 0.7 and fake when ≤ 0.3 (others dropped).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from datetime import datetime
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .review import BENIGN, FAKE, Review, ReviewDataset
+
+PathLike = Union[str, Path]
+
+
+def load_yelp_metadata(
+    metadata_path: PathLike,
+    review_content_path: Optional[PathLike] = None,
+    name: str = "yelp",
+) -> ReviewDataset:
+    """Parse a Rayana-Akoglu style Yelp release into a :class:`ReviewDataset`."""
+    metadata_path = Path(metadata_path)
+    texts: Dict[Tuple[str, str, str], str] = {}
+    if review_content_path is not None:
+        with open(review_content_path, encoding="utf-8", errors="replace") as f:
+            for line in f:
+                parts = line.rstrip("\n").split(None, 3)
+                if len(parts) == 4:
+                    user, item, date, text = parts
+                    texts[(user, item, date)] = text
+
+    raw: List[Tuple[str, str, float, int, str]] = []
+    with open(metadata_path, encoding="utf-8", errors="replace") as f:
+        for line_no, line in enumerate(f, 1):
+            parts = line.split()
+            if not parts:
+                continue
+            if len(parts) < 5:
+                raise ValueError(
+                    f"{metadata_path}:{line_no}: expected 5 fields, got {len(parts)}"
+                )
+            user, item, rating, label, date = parts[:5]
+            label_int = BENIGN if label == "1" else FAKE
+            raw.append((user, item, float(rating), label_int, date))
+
+    user_index = _index_of([r[0] for r in raw])
+    item_index = _index_of([r[1] for r in raw])
+    reviews = [
+        Review(
+            user_id=user_index[user],
+            item_id=item_index[item],
+            rating=rating,
+            label=label,
+            text=texts.get((user, item, date), ""),
+            timestamp=_date_to_days(date),
+        )
+        for user, item, rating, label, date in raw
+    ]
+    return ReviewDataset(
+        reviews,
+        name=name,
+        user_names=_names_of(user_index),
+        item_names=_names_of(item_index),
+    )
+
+
+def load_amazon_json(
+    path: PathLike,
+    name: str = "amazon",
+    min_votes: int = 20,
+    benign_threshold: float = 0.7,
+    fake_threshold: float = 0.3,
+) -> ReviewDataset:
+    """Parse an Amazon JSON-lines dump, labelling by helpfulness votes."""
+    if benign_threshold <= fake_threshold:
+        raise ValueError("benign_threshold must exceed fake_threshold")
+    entries = []
+    votes_per_user: Dict[str, int] = defaultdict(int)
+    with open(path, encoding="utf-8", errors="replace") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            up, total = (obj.get("helpful") or [0, 0])[:2]
+            votes_per_user[obj["reviewerID"]] += int(total)
+            entries.append(obj)
+
+    kept = []
+    for obj in entries:
+        user = obj["reviewerID"]
+        if votes_per_user[user] < min_votes:
+            continue
+        up, total = (obj.get("helpful") or [0, 0])[:2]
+        if total == 0:
+            continue
+        ratio = up / total
+        if ratio >= benign_threshold:
+            label = BENIGN
+        elif ratio <= fake_threshold:
+            label = FAKE
+        else:
+            continue
+        kept.append(
+            (
+                user,
+                obj["asin"],
+                float(obj.get("overall", 3.0)),
+                label,
+                str(obj.get("reviewText", "")),
+                float(obj.get("unixReviewTime", 0)) / 86400.0,
+            )
+        )
+    if not kept:
+        raise ValueError(f"no labelled reviews survived the vote filters in {path}")
+
+    user_index = _index_of([k[0] for k in kept])
+    item_index = _index_of([k[1] for k in kept])
+    reviews = [
+        Review(
+            user_id=user_index[user],
+            item_id=item_index[item],
+            rating=rating,
+            label=label,
+            text=text,
+            timestamp=ts,
+        )
+        for user, item, rating, label, text, ts in kept
+    ]
+    return ReviewDataset(
+        reviews,
+        name=name,
+        user_names=_names_of(user_index),
+        item_names=_names_of(item_index),
+    )
+
+
+def _index_of(keys: List[str]) -> Dict[str, int]:
+    """Stable first-appearance index of string keys."""
+    index: Dict[str, int] = {}
+    for key in keys:
+        if key not in index:
+            index[key] = len(index)
+    return index
+
+
+def _names_of(index: Dict[str, int]) -> List[str]:
+    names = [""] * len(index)
+    for key, idx in index.items():
+        names[idx] = key
+    return names
+
+
+def _date_to_days(date: str) -> float:
+    """Parse ``YYYY-MM-DD``-ish dates to days since epoch; 0.0 on failure."""
+    for fmt in ("%Y-%m-%d", "%m/%d/%Y"):
+        try:
+            return datetime.strptime(date, fmt).timestamp() / 86400.0
+        except ValueError:
+            continue
+    return 0.0

@@ -1,0 +1,227 @@
+"""The review data model: the tuple t^ui and the dataset container.
+
+A :class:`Review` is the paper's tuple ``t^ui = {u, i, r_ui, l_ui, w_ui}``
+plus a timestamp (needed by the time-based sampling strategy of Sec III-D
+and by the behaviour-based baselines).
+
+:class:`ReviewDataset` owns a list of reviews with contiguous integer
+user/item ids, per-user and per-item indexes, and the tokenised text.
+Every model in the repository consumes this one container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..text import Vocabulary, tokenize
+
+BENIGN = 1
+FAKE = 0
+
+
+@dataclass(frozen=True)
+class Review:
+    """One review tuple t^ui.
+
+    Attributes
+    ----------
+    user_id / item_id:
+        Contiguous integer ids (0-based) within the owning dataset.
+    rating:
+        The star rating r_ui, typically 1-5.
+    label:
+        Ground-truth reliability l_ui — ``BENIGN`` (1) or ``FAKE`` (0).
+    text:
+        Raw textual content w_ui.
+    timestamp:
+        Publication time (arbitrary increasing float; days work well).
+    """
+
+    user_id: int
+    item_id: int
+    rating: float
+    label: int
+    text: str
+    timestamp: float
+
+    def __post_init__(self) -> None:
+        if self.label not in (BENIGN, FAKE):
+            raise ValueError(f"label must be {BENIGN} or {FAKE}, got {self.label}")
+
+    @property
+    def is_benign(self) -> bool:
+        return self.label == BENIGN
+
+
+class ReviewDataset:
+    """A corpus of reviews with user/item indexes and tokenized text.
+
+    Parameters
+    ----------
+    reviews:
+        The review tuples; user/item ids must be contiguous from 0.
+    name:
+        Dataset tag used in reports (e.g. ``"yelpchi"``).
+    user_names / item_names:
+        Optional human-readable labels aligned to the ids (used by the
+        case-study tables).
+    """
+
+    def __init__(
+        self,
+        reviews: Sequence[Review],
+        name: str = "dataset",
+        user_names: Optional[Sequence[str]] = None,
+        item_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not reviews:
+            raise ValueError("a dataset needs at least one review")
+        self.reviews: List[Review] = list(reviews)
+        self.name = name
+
+        self.num_users = 1 + max(r.user_id for r in self.reviews)
+        self.num_items = 1 + max(r.item_id for r in self.reviews)
+        for r in self.reviews:
+            if r.user_id < 0 or r.item_id < 0:
+                raise ValueError("user/item ids must be non-negative")
+
+        self.user_names = list(user_names) if user_names else [
+            f"user_{u}" for u in range(self.num_users)
+        ]
+        self.item_names = list(item_names) if item_names else [
+            f"item_{i}" for i in range(self.num_items)
+        ]
+        if len(self.user_names) != self.num_users:
+            raise ValueError("user_names length does not match the id space")
+        if len(self.item_names) != self.num_items:
+            raise ValueError("item_names length does not match the id space")
+
+        # Column views (used everywhere; built once).
+        self.user_ids = np.array([r.user_id for r in self.reviews], dtype=np.int64)
+        self.item_ids = np.array([r.item_id for r in self.reviews], dtype=np.int64)
+        self.ratings = np.array([r.rating for r in self.reviews], dtype=np.float64)
+        self.labels = np.array([r.label for r in self.reviews], dtype=np.int64)
+        self.timestamps = np.array([r.timestamp for r in self.reviews], dtype=np.float64)
+
+        # W^u and W^i: review indices per user / per item, time-sorted.
+        self.reviews_by_user: List[List[int]] = [[] for _ in range(self.num_users)]
+        self.reviews_by_item: List[List[int]] = [[] for _ in range(self.num_items)]
+        for idx in np.argsort(self.timestamps, kind="stable"):
+            r = self.reviews[int(idx)]
+            self.reviews_by_user[r.user_id].append(int(idx))
+            self.reviews_by_item[r.item_id].append(int(idx))
+
+        self._tokens: Optional[List[List[str]]] = None
+        self._vocab: Optional[Vocabulary] = None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.reviews)
+
+    def __getitem__(self, idx: int) -> Review:
+        return self.reviews[idx]
+
+    def __iter__(self):
+        return iter(self.reviews)
+
+    # ------------------------------------------------------------------
+    # Text access (lazy, cached)
+    # ------------------------------------------------------------------
+    @property
+    def tokens(self) -> List[List[str]]:
+        """Tokenized text of every review (cached)."""
+        if self._tokens is None:
+            self._tokens = [tokenize(r.text) for r in self.reviews]
+        return self._tokens
+
+    def build_vocabulary(self, min_count: int = 1, max_size: Optional[int] = None) -> Vocabulary:
+        """Build (and cache) the vocabulary over all review text."""
+        if self._vocab is None or min_count != 1 or max_size is not None:
+            self._vocab = Vocabulary(self.tokens, min_count=min_count, max_size=max_size)
+        return self._vocab
+
+    # ------------------------------------------------------------------
+    # Statistics (Table II)
+    # ------------------------------------------------------------------
+    def fake_fraction(self) -> float:
+        """Fraction of reviews labelled fake."""
+        return float((self.labels == FAKE).mean())
+
+    def user_degrees(self) -> np.ndarray:
+        """|W^u| for every user."""
+        return np.bincount(self.user_ids, minlength=self.num_users)
+
+    def item_degrees(self) -> np.ndarray:
+        """|W^i| for every item."""
+        return np.bincount(self.item_ids, minlength=self.num_items)
+
+    def statistics(self) -> Dict[str, float]:
+        """Summary row matching Table II plus degree medians."""
+        return {
+            "reviews": len(self.reviews),
+            "fake_fraction": self.fake_fraction(),
+            "items": self.num_items,
+            "users": self.num_users,
+            "median_user_degree": float(np.median(self.user_degrees())),
+            "median_item_degree": float(np.median(self.item_degrees())),
+        }
+
+    # ------------------------------------------------------------------
+    def subset(self, indices: Iterable[int], name: Optional[str] = None) -> "ReviewSubset":
+        """A light view over a subset of review indices (keeps id space)."""
+        return ReviewSubset(self, list(indices), name=name)
+
+
+@dataclass
+class ReviewSubset:
+    """Index view into a parent dataset (train/test splits).
+
+    Keeps the parent's user/item id space so model embedding tables stay
+    valid across splits.
+    """
+
+    parent: ReviewDataset
+    indices: List[int]
+    name: Optional[str] = None
+    _array: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._array = np.asarray(self.indices, dtype=np.int64)
+        if len(self._array) and (
+            self._array.min() < 0 or self._array.max() >= len(self.parent)
+        ):
+            raise IndexError("subset index out of the parent's range")
+
+    def __len__(self) -> int:
+        return len(self._array)
+
+    def __iter__(self):
+        for idx in self._array:
+            yield self.parent.reviews[int(idx)]
+
+    @property
+    def index_array(self) -> np.ndarray:
+        return self._array
+
+    @property
+    def user_ids(self) -> np.ndarray:
+        return self.parent.user_ids[self._array]
+
+    @property
+    def item_ids(self) -> np.ndarray:
+        return self.parent.item_ids[self._array]
+
+    @property
+    def ratings(self) -> np.ndarray:
+        return self.parent.ratings[self._array]
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.parent.labels[self._array]
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        return self.parent.timestamps[self._array]

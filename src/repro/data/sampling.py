@@ -1,0 +1,156 @@
+"""Input-layer assembly: time-based review sampling and token tables.
+
+Sec III-D of the paper: the number of reviews fed to UserNet/ItemNet is a
+fixed hyper-parameter (s_u / s_i).  When an entity has more reviews than
+slots, RRRE keeps the *latest* ones ("users' preferences change over time
+and the latest preference is more useful"); when it has fewer, the rest
+are zero-padded and masked.
+
+Two artefacts are produced once per (dataset, configuration) and shared
+by every model:
+
+* :class:`ReviewTextTable` — an ``(N, L)`` token-id matrix over all
+  reviews plus its mask;
+* :class:`InputSlots` — per-user and per-item review-slot matrices built
+  from the *training* reviews only (test reviews must not leak into the
+  profiles used to predict them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..text import Vocabulary, pad_batch
+from .review import ReviewDataset, ReviewSubset
+
+
+@dataclass
+class ReviewTextTable:
+    """Fixed-length token ids for every review in a dataset.
+
+    The table carries one extra virtual row after the real reviews — the
+    *blank review* (all padding) — which cold-start entities' slots point
+    at, so every slot index the models gather is valid.
+
+    Attributes
+    ----------
+    token_ids:
+        ``(num_reviews + 1, max_len)`` int64, padded with PAD_ID; the
+        last row is the blank review.
+    token_mask:
+        Same shape, bool; True marks real tokens (the blank row keeps one
+        True position so sequence models stay well-defined).
+    vocab:
+        The vocabulary used for encoding.
+    """
+
+    token_ids: np.ndarray
+    token_mask: np.ndarray
+    vocab: Vocabulary
+
+    @property
+    def max_len(self) -> int:
+        return self.token_ids.shape[1]
+
+    @property
+    def blank_index(self) -> int:
+        """Index of the virtual all-padding review (the last row)."""
+        return self.token_ids.shape[0] - 1
+
+    @classmethod
+    def build(
+        cls,
+        dataset: ReviewDataset,
+        max_len: int = 24,
+        vocab: Optional[Vocabulary] = None,
+        min_count: int = 1,
+        max_vocab: Optional[int] = None,
+    ) -> "ReviewTextTable":
+        """Tokenize and pad every review of ``dataset`` to ``max_len``."""
+        if vocab is None:
+            vocab = dataset.build_vocabulary(min_count=min_count, max_size=max_vocab)
+        encoded = [vocab.encode(tokens) for tokens in dataset.tokens]
+        encoded.append([])  # the blank review
+        ids, mask = pad_batch(encoded, max_len)
+        return cls(token_ids=ids, token_mask=mask, vocab=vocab)
+
+
+@dataclass
+class InputSlots:
+    """Per-entity review slots (the UserNet/ItemNet input layer).
+
+    Slot value ``-1`` marks zero padding.  ``user_slot_items`` /
+    ``item_slot_users`` give the counterpart entity id of each slot
+    (needed by the fraud-attention's ID channels); padded slots carry 0
+    and are masked.
+    """
+
+    user_slots: np.ndarray  # (num_users, s_u) review index or -1
+    user_slot_mask: np.ndarray  # (num_users, s_u) bool
+    user_slot_items: np.ndarray  # (num_users, s_u) item id (0 when padded)
+    item_slots: np.ndarray  # (num_items, s_i)
+    item_slot_mask: np.ndarray
+    item_slot_users: np.ndarray
+
+    @property
+    def s_u(self) -> int:
+        return self.user_slots.shape[1]
+
+    @property
+    def s_i(self) -> int:
+        return self.item_slots.shape[1]
+
+    @classmethod
+    def build(
+        cls,
+        train: ReviewSubset,
+        s_u: int,
+        s_i: int,
+    ) -> "InputSlots":
+        """Assemble slots from a *training* subset.
+
+        For each user (item), the ``min(s, |W|)`` latest training reviews
+        fill the slots in chronological order; the rest are padding.
+        Cold-start entities (no training review) point their first slot
+        at the table's blank review — their profile degenerates to the
+        "empty text" encoding plus the ID embedding.
+        """
+        if s_u < 1 or s_i < 1:
+            raise ValueError(f"slot sizes must be >= 1, got s_u={s_u}, s_i={s_i}")
+        parent = train.parent
+        blank_index = len(parent)  # ReviewTextTable's virtual blank row
+        train_set = set(int(i) for i in train.index_array)
+
+        def assemble(groups: Sequence[Sequence[int]], s: int, counterpart: np.ndarray):
+            n = len(groups)
+            slots = np.full((n, s), -1, dtype=np.int64)
+            mask = np.zeros((n, s), dtype=bool)
+            others = np.zeros((n, s), dtype=np.int64)
+            for entity, indices in enumerate(groups):
+                kept = [idx for idx in indices if idx in train_set][-s:]
+                if not kept:
+                    slots[entity, 0] = blank_index
+                    mask[entity, 0] = True
+                    continue
+                slots[entity, : len(kept)] = kept
+                mask[entity, : len(kept)] = True
+                others[entity, : len(kept)] = counterpart[kept]
+            return slots, mask, others
+
+        user_slots, user_mask, user_items = assemble(
+            parent.reviews_by_user, s_u, parent.item_ids
+        )
+        item_slots, item_mask, item_users = assemble(
+            parent.reviews_by_item, s_i, parent.user_ids
+        )
+        return cls(
+            user_slots=user_slots,
+            user_slot_mask=user_mask,
+            user_slot_items=user_items,
+            item_slots=item_slots,
+            item_slot_mask=item_mask,
+            item_slot_users=item_users,
+        )

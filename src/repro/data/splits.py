@@ -1,0 +1,63 @@
+"""Train/test splitting following the paper's protocol (Sec IV-C).
+
+"For each data set, 70% of instances are used to train the model and 30%
+for testing."  The default split is uniformly random, so cold-start
+users/items can appear in the test set — the regime in which the paper
+observes DER and REV2 struggling.  ``pin_entities=True`` instead
+guarantees one training review per user and item (a common alternative
+protocol, kept for comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .review import ReviewDataset, ReviewSubset
+
+
+def train_test_split(
+    dataset: ReviewDataset,
+    train_fraction: float = 0.7,
+    seed: int = 0,
+    pin_entities: bool = False,
+) -> Tuple[ReviewSubset, ReviewSubset]:
+    """Split into train/test subsets.
+
+    With ``pin_entities`` every user and item keeps at least one review
+    in the training set; otherwise the split is uniformly random.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    rng = np.random.default_rng(seed)
+    n = len(dataset)
+
+    pinned = np.zeros(n, dtype=bool)
+    if pin_entities:
+        # Pin one (random) review per user and per item into train.
+        for group in (dataset.reviews_by_user, dataset.reviews_by_item):
+            for indices in group:
+                if indices:
+                    pinned[indices[int(rng.integers(len(indices)))]] = True
+
+    target_train = int(round(train_fraction * n))
+    target_train = max(target_train, int(pinned.sum()))
+
+    free = np.flatnonzero(~pinned)
+    rng.shuffle(free)
+    n_extra = target_train - int(pinned.sum())
+    train_mask = pinned.copy()
+    train_mask[free[:n_extra]] = True
+
+    train_idx = np.flatnonzero(train_mask)
+    test_idx = np.flatnonzero(~train_mask)
+    if len(test_idx) == 0:
+        raise ValueError(
+            "split produced an empty test set; the dataset is too small for "
+            f"train_fraction={train_fraction}"
+        )
+    return (
+        dataset.subset(train_idx.tolist(), name="train"),
+        dataset.subset(test_idx.tolist(), name="test"),
+    )

@@ -1,0 +1,172 @@
+"""The paper's reported numbers and measured-vs-paper comparison.
+
+Ground-truth values transcribed from the ICDE 2021 paper (Tables III-VI).
+:func:`compare_table` checks *shape* agreement — which model wins, and
+how models order — rather than absolute values, since the reproduction
+runs on a scaled simulator instead of the authors' corpora.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+#: Table III — bRMSE (rows: datasets, columns: models).
+PAPER_TABLE3: Dict[str, Dict[str, float]] = {
+    "yelpchi": {"RRRE": 0.965, "PMF": 1.052, "DeepCoNN": 0.994, "NARRE": 1.002, "DER": 1.112, "RRRE-": 1.041},
+    "yelpnyc": {"RRRE": 0.989, "PMF": 1.081, "DeepCoNN": 0.992, "NARRE": 1.030, "DER": 1.048, "RRRE-": 1.058},
+    "yelpzip": {"RRRE": 0.983, "PMF": 1.101, "DeepCoNN": 1.092, "NARRE": 1.073, "DER": 1.087, "RRRE-": 1.062},
+    "musics": {"RRRE": 1.054, "PMF": 1.194, "DeepCoNN": 1.143, "NARRE": 1.156, "DER": 1.170, "RRRE-": 1.179},
+    "cds": {"RRRE": 0.977, "PMF": 1.081, "DeepCoNN": 0.998, "NARRE": 1.060, "DER": 1.088, "RRRE-": 1.098},
+}
+
+#: Table IV — AUC (rows: models, columns: datasets).
+PAPER_TABLE4_AUC: Dict[str, Dict[str, float]] = {
+    "ICWSM13": {"musics": 0.734, "cds": 0.722, "yelpchi": 0.713, "yelpnyc": 0.654, "yelpzip": 0.632},
+    "SpEagle+": {"musics": 0.759, "cds": 0.763, "yelpchi": 0.795, "yelpnyc": 0.783, "yelpzip": 0.804},
+    "REV2": {"musics": 0.798, "cds": 0.803, "yelpchi": 0.625, "yelpnyc": 0.648, "yelpzip": 0.634},
+    "RRRE": {"musics": 0.911, "cds": 0.924, "yelpchi": 0.789, "yelpnyc": 0.791, "yelpzip": 0.806},
+}
+
+#: Table IV — Average Precision.
+PAPER_TABLE4_AP: Dict[str, Dict[str, float]] = {
+    "ICWSM13": {"musics": 0.857, "cds": 0.869, "yelpchi": 0.856, "yelpnyc": 0.843, "yelpzip": 0.895},
+    "SpEagle+": {"musics": 0.416, "cds": 0.405, "yelpchi": 0.397, "yelpnyc": 0.348, "yelpzip": 0.425},
+    "REV2": {"musics": 0.801, "cds": 0.819, "yelpchi": 0.532, "yelpnyc": 0.503, "yelpzip": 0.612},
+    "RRRE": {"musics": 0.965, "cds": 0.977, "yelpchi": 0.956, "yelpnyc": 0.929, "yelpzip": 0.934},
+}
+
+#: Table V — NDCG@k on YelpChi (k → model → value).
+PAPER_TABLE5: Dict[int, Dict[str, float]] = {
+    100: {"ICWSM13": 0.567, "SpEagle+": 0.975, "REV2": 0.432, "RRRE": 0.989},
+    200: {"ICWSM13": 0.551, "SpEagle+": 0.962, "REV2": 0.425, "RRRE": 0.986},
+    300: {"ICWSM13": 0.546, "SpEagle+": 0.951, "REV2": 0.419, "RRRE": 0.986},
+    400: {"ICWSM13": 0.541, "SpEagle+": 0.938, "REV2": 0.406, "RRRE": 0.982},
+    500: {"ICWSM13": 0.532, "SpEagle+": 0.924, "REV2": 0.395, "RRRE": 0.979},
+    600: {"ICWSM13": 0.535, "SpEagle+": 0.905, "REV2": 0.386, "RRRE": 0.972},
+    700: {"ICWSM13": 0.525, "SpEagle+": 0.889, "REV2": 0.389, "RRRE": 0.967},
+    800: {"ICWSM13": 0.511, "SpEagle+": 0.865, "REV2": 0.376, "RRRE": 0.959},
+    900: {"ICWSM13": 0.486, "SpEagle+": 0.849, "REV2": 0.374, "RRRE": 0.951},
+    1000: {"ICWSM13": 0.459, "SpEagle+": 0.835, "REV2": 0.364, "RRRE": 0.940},
+}
+
+#: Table VI — NDCG@k on CDs.
+PAPER_TABLE6: Dict[int, Dict[str, float]] = {
+    100: {"ICWSM13": 0.488, "SpEagle+": 0.921, "REV2": 0.554, "RRRE": 0.998},
+    200: {"ICWSM13": 0.465, "SpEagle+": 0.906, "REV2": 0.545, "RRRE": 0.991},
+    300: {"ICWSM13": 0.470, "SpEagle+": 0.885, "REV2": 0.542, "RRRE": 0.985},
+    400: {"ICWSM13": 0.454, "SpEagle+": 0.884, "REV2": 0.536, "RRRE": 0.974},
+    500: {"ICWSM13": 0.438, "SpEagle+": 0.875, "REV2": 0.532, "RRRE": 0.971},
+    600: {"ICWSM13": 0.435, "SpEagle+": 0.860, "REV2": 0.524, "RRRE": 0.966},
+    700: {"ICWSM13": 0.424, "SpEagle+": 0.858, "REV2": 0.515, "RRRE": 0.956},
+    800: {"ICWSM13": 0.417, "SpEagle+": 0.855, "REV2": 0.516, "RRRE": 0.950},
+    900: {"ICWSM13": 0.401, "SpEagle+": 0.824, "REV2": 0.494, "RRRE": 0.936},
+    1000: {"ICWSM13": 0.392, "SpEagle+": 0.801, "REV2": 0.482, "RRRE": 0.927},
+}
+
+
+@dataclass
+class ShapeComparison:
+    """Shape agreement between a measured table and the paper's."""
+
+    experiment: str
+    winner_matches: Dict[str, bool] = field(default_factory=dict)
+    rank_correlations: Dict[str, float] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def winner_agreement(self) -> float:
+        """Fraction of rows whose best model matches the paper's."""
+        if not self.winner_matches:
+            return 0.0
+        return sum(self.winner_matches.values()) / len(self.winner_matches)
+
+    @property
+    def mean_rank_correlation(self) -> float:
+        """Average Spearman correlation of model orderings."""
+        if not self.rank_correlations:
+            return 0.0
+        return sum(self.rank_correlations.values()) / len(self.rank_correlations)
+
+
+def spearman(a: Sequence[float], b: Sequence[float]) -> float:
+    """Spearman rank correlation of two aligned value sequences."""
+    import numpy as np
+
+    if len(a) != len(b) or len(a) < 2:
+        raise ValueError("need two aligned sequences of length >= 2")
+    ra = _ranks(a)
+    rb = _ranks(b)
+    ra_c = ra - ra.mean()
+    rb_c = rb - rb.mean()
+    denom = float(np.sqrt((ra_c**2).sum() * (rb_c**2).sum()))
+    if denom == 0:
+        return 0.0
+    return float((ra_c * rb_c).sum() / denom)
+
+
+def _ranks(values: Sequence[float]):
+    """Midranks: tied values share the average of their rank positions."""
+    import numpy as np
+
+    values = np.asarray(values, dtype=np.float64)
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values))
+    ranks[order] = np.arange(len(values), dtype=np.float64)
+    sorted_vals = values[order]
+    i = 0
+    while i < len(sorted_vals):
+        j = i
+        while j + 1 < len(sorted_vals) and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = (i + j) / 2.0
+        i = j + 1
+    return ranks
+
+
+def compare_table(
+    experiment: str,
+    measured: Mapping[str, Mapping[str, float]],
+    paper: Mapping[str, Mapping[str, float]],
+    lower_is_better: bool,
+) -> ShapeComparison:
+    """Compare measured vs paper values row-by-row.
+
+    Both tables are ``{row: {model: value}}``.  For each row present in
+    both, records (a) whether the winning model matches and (b) the
+    Spearman correlation of the model ordering.
+    """
+    result = ShapeComparison(experiment=experiment)
+    pick = min if lower_is_better else max
+    for row, paper_row in paper.items():
+        measured_row = measured.get(row)
+        if not measured_row:
+            result.notes.append(f"row {row!r} missing from measurements")
+            continue
+        common = [m for m in paper_row if m in measured_row]
+        if len(common) < 2:
+            result.notes.append(f"row {row!r} has <2 comparable models")
+            continue
+        paper_vals = [paper_row[m] for m in common]
+        measured_vals = [measured_row[m] for m in common]
+        paper_winner = common[paper_vals.index(pick(paper_vals))]
+        measured_winner = common[measured_vals.index(pick(measured_vals))]
+        result.winner_matches[str(row)] = paper_winner == measured_winner
+        result.rank_correlations[str(row)] = spearman(paper_vals, measured_vals)
+    return result
+
+
+def render_comparison(comparison: ShapeComparison) -> str:
+    """Human-readable summary of a shape comparison."""
+    lines = [
+        f"shape check — {comparison.experiment}:",
+        f"  winner agreement: {100 * comparison.winner_agreement:.0f}% "
+        f"({sum(comparison.winner_matches.values())}/{len(comparison.winner_matches)} rows)",
+        f"  mean rank correlation: {comparison.mean_rank_correlation:+.2f}",
+    ]
+    for row, match in comparison.winner_matches.items():
+        rho = comparison.rank_correlations.get(row, float("nan"))
+        lines.append(f"    {row}: winner {'✓' if match else '✗'}  ρ={rho:+.2f}")
+    lines.extend(f"  note: {note}" for note in comparison.notes)
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Experimental protocol: seeded multi-run evaluation (paper Sec IV).
+
+The paper reports "the mean values of five experiments" on a 70/30
+split.  :func:`run_protocol` regenerates the dataset, re-splits, refits
+and re-scores once per seed, then aggregates mean/std per metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..data import ReviewDataset, ReviewSubset, load_dataset, train_test_split
+
+
+@dataclass
+class RunResult:
+    """Metrics of one (dataset, model, seed) run."""
+
+    dataset: str
+    model: str
+    seed: int
+    metrics: Dict[str, float]
+
+
+@dataclass
+class AggregateResult:
+    """Mean/std over seeds for one (dataset, model)."""
+
+    dataset: str
+    model: str
+    runs: List[RunResult] = field(default_factory=list)
+
+    def mean(self, metric: str) -> float:
+        values = [r.metrics[metric] for r in self.runs if metric in r.metrics]
+        if not values:
+            raise KeyError(f"metric {metric!r} missing from all runs")
+        return float(np.mean(values))
+
+    def std(self, metric: str) -> float:
+        values = [r.metrics[metric] for r in self.runs if metric in r.metrics]
+        return float(np.std(values)) if values else 0.0
+
+    @property
+    def metric_names(self) -> List[str]:
+        names: List[str] = []
+        for run in self.runs:
+            for key in run.metrics:
+                if key not in names:
+                    names.append(key)
+        return names
+
+
+#: A model evaluator: (dataset, train, test, seed) -> metric dict.
+Evaluator = Callable[[ReviewDataset, ReviewSubset, ReviewSubset, int], Dict[str, float]]
+
+
+def run_protocol(
+    dataset_name: str,
+    evaluators: Dict[str, Evaluator],
+    seeds: Sequence[int] = (0, 1, 2),
+    scale: float = 1.0,
+    train_fraction: float = 0.7,
+    verbose: bool = False,
+) -> Dict[str, AggregateResult]:
+    """Run every evaluator over fresh (dataset, split) draws per seed.
+
+    Returns ``{model_name: AggregateResult}``.  Dataset generation, the
+    split, and each model all derive their randomness from the seed, so
+    the whole protocol is reproducible.
+    """
+    results = {
+        name: AggregateResult(dataset=dataset_name, model=name) for name in evaluators
+    }
+    for seed in seeds:
+        dataset = load_dataset(dataset_name, seed=seed, scale=scale)
+        train, test = train_test_split(dataset, train_fraction=train_fraction, seed=seed)
+        for name, evaluator in evaluators.items():
+            metrics = evaluator(dataset, train, test, seed)
+            results[name].runs.append(
+                RunResult(dataset=dataset_name, model=name, seed=seed, metrics=metrics)
+            )
+            if verbose:
+                pretty = " ".join(f"{k}={v:.4f}" for k, v in metrics.items())
+                print(f"[{dataset_name} seed={seed}] {name}: {pretty}")
+    return results
+
+
+def split_for(
+    dataset_name: str, seed: int = 0, scale: float = 1.0
+) -> Tuple[ReviewDataset, ReviewSubset, ReviewSubset]:
+    """Convenience: one generated dataset plus its 70/30 split."""
+    dataset = load_dataset(dataset_name, seed=seed, scale=scale)
+    train, test = train_test_split(dataset, seed=seed)
+    return dataset, train, test

@@ -1,0 +1,35 @@
+"""``repro.metrics`` — evaluation metrics used in the paper's experiments."""
+
+from .ranking import (
+    auc,
+    average_precision,
+    dcg_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+from .regression import biased_rmse, mae, rmse
+from .uncertainty import (
+    BootstrapResult,
+    bootstrap_metric,
+    brier_score,
+    expected_calibration_error,
+    paired_bootstrap_delta,
+)
+
+__all__ = [
+    "BootstrapResult",
+    "auc",
+    "average_precision",
+    "biased_rmse",
+    "bootstrap_metric",
+    "brier_score",
+    "dcg_at_k",
+    "expected_calibration_error",
+    "mae",
+    "ndcg_at_k",
+    "paired_bootstrap_delta",
+    "precision_at_k",
+    "recall_at_k",
+    "rmse",
+]

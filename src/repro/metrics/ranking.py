@@ -1,0 +1,122 @@
+"""Ranking/classification metrics for reliability scores.
+
+AUC, Average Precision, NDCG@k (Eq. 18-19) and precision/recall@k.  The
+positive class throughout is *benign* (label 1), matching the paper's
+framing of reliability ranking.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney) identity.
+
+    Ties in ``scores`` receive average ranks, so the estimate is exact.
+    """
+    scores, labels = _validate(scores, labels)
+    n_pos = int(labels.sum())
+    n_neg = len(labels) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("AUC undefined: need both positive and negative labels")
+    ranks = _average_ranks(scores)
+    pos_rank_sum = ranks[labels == 1].sum()
+    return float((pos_rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def average_precision(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Average precision (area under the precision-recall curve).
+
+    Computed over the score-descending ranking; ties are broken by
+    original index (deterministic).
+    """
+    scores, labels = _validate(scores, labels)
+    n_pos = int(labels.sum())
+    if n_pos == 0:
+        raise ValueError("AP undefined: no positive labels")
+    order = np.argsort(-scores, kind="stable")
+    hits = labels[order]
+    cum_hits = np.cumsum(hits)
+    precision_at = cum_hits / np.arange(1, len(hits) + 1)
+    return float((precision_at * hits).sum() / n_pos)
+
+
+def dcg_at_k(ranked_labels: Sequence[int], k: int) -> float:
+    """DCG@k with the exponential gain of Eq. 19: (2^l - 1)/log2(i+1)."""
+    ranked_labels = np.asarray(ranked_labels, dtype=np.float64)[:k]
+    if len(ranked_labels) == 0:
+        return 0.0
+    discounts = np.log2(np.arange(2, len(ranked_labels) + 2))
+    return float(((2.0**ranked_labels - 1.0) / discounts).sum())
+
+
+def ndcg_at_k(scores: np.ndarray, labels: np.ndarray, k: int) -> float:
+    """NDCG@k (Eq. 18): ideal ranking puts all-1 labels at the top.
+
+    Following the paper (after SpEagle), IDCG@k assumes the top-k can be
+    filled entirely with benign reviews, so NDCG@k < 1 whenever a fake
+    sneaks into the top k.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    scores, labels = _validate(scores, labels)
+    order = np.argsort(-scores, kind="stable")
+    dcg = dcg_at_k(labels[order], k)
+    ideal = dcg_at_k(np.ones(min(k, len(labels))), k)
+    return float(dcg / ideal) if ideal > 0 else 0.0
+
+
+def precision_at_k(scores: np.ndarray, labels: np.ndarray, k: int) -> float:
+    """Fraction of the top-k (by score) that are positive."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    scores, labels = _validate(scores, labels)
+    order = np.argsort(-scores, kind="stable")[:k]
+    return float(labels[order].mean())
+
+
+def recall_at_k(scores: np.ndarray, labels: np.ndarray, k: int) -> float:
+    """Fraction of all positives captured in the top-k."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    scores, labels = _validate(scores, labels)
+    n_pos = labels.sum()
+    if n_pos == 0:
+        raise ValueError("recall undefined: no positive labels")
+    order = np.argsort(-scores, kind="stable")[:k]
+    return float(labels[order].sum() / n_pos)
+
+
+def _average_ranks(scores: np.ndarray) -> np.ndarray:
+    """1-based ranks with ties averaged (midrank)."""
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(len(scores), dtype=np.float64)
+    ranks[order] = np.arange(1, len(scores) + 1)
+    # Average ranks within tie groups.
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = (i + 1 + j + 1) / 2.0
+        i = j + 1
+    return ranks
+
+
+def _validate(scores, labels):
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if scores.shape != labels.shape or scores.ndim != 1:
+        raise ValueError(
+            f"scores and labels must be 1-d and aligned, got {scores.shape} / {labels.shape}"
+        )
+    if scores.size == 0:
+        raise ValueError("cannot score empty arrays")
+    if not np.isin(labels, (0.0, 1.0)).all():
+        raise ValueError("labels must be binary (0 or 1)")
+    return scores, labels

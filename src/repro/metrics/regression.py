@@ -1,0 +1,46 @@
+"""Rating-prediction metrics: RMSE, the paper's bRMSE (Eq. 17), MAE."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rmse(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Root mean square error (Eq. 16)."""
+    predicted, actual = _validate(predicted, actual)
+    return float(np.sqrt(np.mean((predicted - actual) ** 2)))
+
+
+def biased_rmse(predicted: np.ndarray, actual: np.ndarray, labels: np.ndarray) -> float:
+    """bRMSE (Eq. 17): RMSE computed over benign reviews only.
+
+    ``labels`` is the ground-truth reliability l_ui (1 benign, 0 fake).
+    Raises when there are no benign reviews — a bRMSE of 0/0 would be
+    meaningless.
+    """
+    predicted, actual = _validate(predicted, actual)
+    labels = np.asarray(labels, dtype=np.float64)
+    if labels.shape != predicted.shape:
+        raise ValueError(f"labels shape {labels.shape} != predictions {predicted.shape}")
+    n_benign = labels.sum()
+    if n_benign == 0:
+        raise ValueError("bRMSE undefined: no benign reviews in the evaluation set")
+    return float(np.sqrt(np.sum(labels * (predicted - actual) ** 2) / n_benign))
+
+
+def mae(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Mean absolute error."""
+    predicted, actual = _validate(predicted, actual)
+    return float(np.mean(np.abs(predicted - actual)))
+
+
+def _validate(predicted, actual):
+    predicted = np.asarray(predicted, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if predicted.shape != actual.shape:
+        raise ValueError(
+            f"prediction shape {predicted.shape} != target shape {actual.shape}"
+        )
+    if predicted.size == 0:
+        raise ValueError("cannot score an empty prediction array")
+    return predicted, actual

@@ -1,0 +1,160 @@
+"""Calibration and resampling-based uncertainty for evaluation.
+
+The paper reports point estimates ("mean values of five experiments");
+this module adds the tooling a careful release ships with: expected
+calibration error for the reliability probabilities, Brier score, and
+bootstrap confidence intervals for any metric (including paired deltas
+between two models, the right way to ask "is RRRE actually better?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+
+def expected_calibration_error(
+    probabilities: np.ndarray, labels: np.ndarray, bins: int = 10
+) -> float:
+    """ECE: mean |accuracy − confidence| over equal-width probability bins.
+
+    ``probabilities`` are P(positive); ``labels`` binary.  Bins weighted
+    by occupancy.
+    """
+    probabilities, labels = _validate(probabilities, labels)
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    edges = np.linspace(0.0, 1.0, bins + 1)
+    total = len(probabilities)
+    ece = 0.0
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (probabilities >= lo) & (
+            probabilities < hi if hi < 1.0 else probabilities <= hi
+        )
+        if not mask.any():
+            continue
+        confidence = probabilities[mask].mean()
+        accuracy = labels[mask].mean()
+        ece += (mask.sum() / total) * abs(accuracy - confidence)
+    return float(ece)
+
+
+def brier_score(probabilities: np.ndarray, labels: np.ndarray) -> float:
+    """Mean squared error of probabilities against binary outcomes."""
+    probabilities, labels = _validate(probabilities, labels)
+    return float(np.mean((probabilities - labels) ** 2))
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Point estimate with a percentile confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def bootstrap_metric(
+    metric: Callable[[np.ndarray, np.ndarray], float],
+    scores: np.ndarray,
+    labels: np.ndarray,
+    iterations: int = 500,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> BootstrapResult:
+    """Percentile bootstrap CI for ``metric(scores, labels)``.
+
+    Resamples (score, label) pairs with replacement; resamples that make
+    the metric undefined (e.g. single-class AUC draws) are skipped.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if iterations < 10:
+        raise ValueError(f"iterations must be >= 10, got {iterations}")
+    rng = np.random.default_rng(seed)
+    n = len(scores)
+    estimates = []
+    attempts = 0
+    while len(estimates) < iterations and attempts < iterations * 3:
+        attempts += 1
+        idx = rng.integers(0, n, size=n)
+        try:
+            estimates.append(metric(scores[idx], labels[idx]))
+        except ValueError:
+            continue
+    if not estimates:
+        raise ValueError("every bootstrap resample made the metric undefined")
+    estimates = np.asarray(estimates)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapResult(
+        estimate=float(metric(scores, labels)),
+        low=float(np.quantile(estimates, alpha)),
+        high=float(np.quantile(estimates, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def paired_bootstrap_delta(
+    metric: Callable[[np.ndarray, np.ndarray], float],
+    scores_a: np.ndarray,
+    scores_b: np.ndarray,
+    labels: np.ndarray,
+    iterations: int = 500,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> BootstrapResult:
+    """CI for ``metric(A) − metric(B)`` on shared resamples.
+
+    A CI excluding zero is bootstrap evidence that model A genuinely
+    differs from model B on this test set.
+    """
+    scores_a = np.asarray(scores_a, dtype=np.float64)
+    scores_b = np.asarray(scores_b, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if scores_a.shape != scores_b.shape or scores_a.shape != labels.shape:
+        raise ValueError("scores_a, scores_b, labels must be aligned")
+    rng = np.random.default_rng(seed)
+    n = len(labels)
+    deltas = []
+    attempts = 0
+    while len(deltas) < iterations and attempts < iterations * 3:
+        attempts += 1
+        idx = rng.integers(0, n, size=n)
+        try:
+            deltas.append(
+                metric(scores_a[idx], labels[idx]) - metric(scores_b[idx], labels[idx])
+            )
+        except ValueError:
+            continue
+    if not deltas:
+        raise ValueError("every bootstrap resample made the metric undefined")
+    deltas = np.asarray(deltas)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapResult(
+        estimate=float(metric(scores_a, labels) - metric(scores_b, labels)),
+        low=float(np.quantile(deltas, alpha)),
+        high=float(np.quantile(deltas, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def _validate(probabilities, labels) -> Tuple[np.ndarray, np.ndarray]:
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if probabilities.shape != labels.shape or probabilities.ndim != 1:
+        raise ValueError("probabilities and labels must be aligned 1-d arrays")
+    if probabilities.size == 0:
+        raise ValueError("cannot score empty arrays")
+    if ((probabilities < 0) | (probabilities > 1)).any():
+        raise ValueError("probabilities must lie in [0, 1]")
+    if not np.isin(labels, (0.0, 1.0)).all():
+        raise ValueError("labels must be binary")
+    return probabilities, labels

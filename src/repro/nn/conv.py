@@ -1,0 +1,77 @@
+"""1-d convolution for text, as used by the DeepCoNN / NARRE baselines.
+
+The classic text-CNN recipe (Kim 2014): convolve word windows, apply a
+nonlinearity, then max-over-time pool to a fixed-size feature vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class Conv1d(Module):
+    """Valid (no padding) 1-d convolution over ``(B, L, d)`` sequences.
+
+    Implemented as window unfolding + one matmul, which keeps the autodiff
+    tape short.  Output is ``(B, L - kernel_size + 1, out_channels)``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError(f"kernel_size must be >= 1, got {kernel_size}")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.weight = Parameter(
+            init.xavier_uniform((kernel_size * in_channels, out_channels), rng), name="W"
+        )
+        self.bias = Parameter(init.zeros((out_channels,)), name="b")
+
+    def forward(self, x: Tensor) -> Tensor:
+        _, length, _ = x.shape
+        if length < self.kernel_size:
+            raise ValueError(
+                f"sequence length {length} shorter than kernel size {self.kernel_size}"
+            )
+        out_len = length - self.kernel_size + 1
+        windows = [
+            F.getitem(x, (slice(None), slice(offset, offset + out_len)))
+            for offset in range(self.kernel_size)
+        ]
+        unfolded = F.concat(windows, axis=-1)  # (B, out_len, k*d)
+        return F.matmul(unfolded, self.weight) + self.bias
+
+
+class TextCNN(Module):
+    """Conv1d → ReLU → max-over-time, the encoder block of DeepCoNN/NARRE.
+
+    Maps ``(B, L, d)`` word sequences to ``(B, num_filters)`` vectors.
+    Sequences shorter than the kernel must be padded upstream.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_filters: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.conv = Conv1d(embed_dim, num_filters, kernel_size, rng)
+        self.output_size = num_filters
+
+    def forward(self, x: Tensor) -> Tensor:
+        feature_map = F.relu(self.conv(x))
+        return F.max(feature_map, axis=1)

@@ -1,0 +1,46 @@
+"""Factorization machine layer — the rating head of RRRE/NARRE/DeepCoNN.
+
+Second-order FM (Rendle 2010) over a dense input vector z:
+
+    y = w0 + Σ_i w_i z_i + Σ_{i<j} <v_i, v_j> z_i z_j
+
+with the standard O(k·d) pairwise identity
+    Σ_{i<j} <v_i,v_j> z_i z_j = ½ Σ_f [(Σ_i v_if z_i)² − Σ_i v_if² z_i²].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class FactorizationMachine(Module):
+    """FM over ``(B, input_dim)`` vectors → ``(B,)`` scalar scores.
+
+    Parameters
+    ----------
+    input_dim:
+        Width of the concatenated feature vector (Eq. 12 feeds
+        ``[(e_u + W_h x_u), (e_i + W_e y_i)]``).
+    factor_dim:
+        Rank of the pairwise interaction factors.
+    """
+
+    def __init__(self, input_dim: int, factor_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.input_dim = input_dim
+        self.factor_dim = factor_dim
+        self.global_bias = Parameter(init.zeros((1,)), name="w0")
+        self.linear = Parameter(init.normal((input_dim, 1), rng, std=0.01), name="w")
+        self.factors = Parameter(init.normal((input_dim, factor_dim), rng, std=0.01), name="V")
+
+    def forward(self, z: Tensor) -> Tensor:
+        linear_term = F.squeeze(F.matmul(z, self.linear), axis=1)  # (B,)
+        zv = F.matmul(z, self.factors)  # (B, k)
+        z2v2 = F.matmul(z * z, self.factors * self.factors)  # (B, k)
+        pairwise = 0.5 * F.sum(zv * zv - z2v2, axis=1)  # (B,)
+        return linear_term + pairwise + self.global_bias

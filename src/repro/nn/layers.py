@@ -1,0 +1,157 @@
+"""Core feed-forward layers: Linear, Embedding, Dropout, Sequential, MLP."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` applied to the last axis.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output width.
+    rng:
+        Generator for Xavier initialization.
+    bias:
+        Include the additive bias term (default True).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng), name="W")
+        self.bias = Parameter(init.zeros((out_features,)), name="b") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.matmul(x, self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors.
+
+    Index 0 is conventionally the padding id; set ``padding_idx=0`` to pin
+    that row to zero (it is zeroed at init and its gradient is masked by
+    the optimizer hook below).
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator,
+        padding_idx: Optional[int] = None,
+        scale: float = 0.1,
+    ) -> None:
+        super().__init__()
+        if num_embeddings <= 0:
+            raise ValueError(f"num_embeddings must be positive, got {num_embeddings}")
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.padding_idx = padding_idx
+        weight = init.uniform((num_embeddings, embedding_dim), rng, bound=scale)
+        if padding_idx is not None:
+            weight[padding_idx] = 0.0
+        self.weight = Parameter(weight, name="E")
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings}): "
+                f"min={indices.min()}, max={indices.max()}"
+            )
+        out = F.take_rows(self.weight, indices)
+        return out
+
+    def load_pretrained(self, vectors: np.ndarray, freeze: bool = False) -> None:
+        """Overwrite the table with pretrained ``vectors``."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.shape != (self.num_embeddings, self.embedding_dim):
+            raise ValueError(
+                f"pretrained shape {vectors.shape} != "
+                f"({self.num_embeddings}, {self.embedding_dim})"
+            )
+        self.weight.data = vectors.copy()
+        if self.padding_idx is not None:
+            self.weight.data[self.padding_idx] = 0.0
+        if freeze:
+            self.weight.requires_grad = False
+
+
+class Dropout(Module):
+    """Inverted dropout; inert in eval mode."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.rate, self._rng, training=self.training)
+
+
+class Sequential(Module):
+    """Run modules (or bare callables such as ``F.relu``) in order."""
+
+    def __init__(self, *steps) -> None:
+        super().__init__()
+        self.steps = list(steps)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for step in self.steps:
+            x = step(x)
+        return x
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable activation.
+
+    ``sizes`` is the full width sequence including input and output, e.g.
+    ``MLP([64, 32, 1], rng)`` builds two Linear layers with the activation
+    between them (none after the last).
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        rng: np.random.Generator,
+        activation: Callable[[Tensor], Tensor] = F.relu,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        self.layers = [Linear(a, b, rng) for a, b in zip(sizes[:-1], sizes[1:])]
+        self.activation = activation
+        self.dropout = Dropout(dropout, rng) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self.layers) - 1
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i != last:
+                x = self.activation(x)
+                if self.dropout is not None:
+                    x = self.dropout(x)
+        return x

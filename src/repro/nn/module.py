@@ -1,0 +1,120 @@
+"""Module/Parameter abstractions for composing models.
+
+A :class:`Module` owns :class:`Parameter` tensors and child modules and
+provides recursive parameter collection, train/eval mode switching, and
+state-dict save/load — the minimal contract the trainers in
+:mod:`repro.core` and :mod:`repro.baselines` rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered for optimization (``requires_grad=True``)."""
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural components.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; they are discovered automatically by
+    :meth:`named_parameters`.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Parameter discovery
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs recursively."""
+        for attr, value in vars(self).items():
+            name = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                yield name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{name}.")
+            elif isinstance(value, (list, tuple)):
+                for idx, element in enumerate(value):
+                    if isinstance(element, Parameter):
+                        yield f"{name}.{idx}", element
+                    elif isinstance(element, Module):
+                        yield from element.named_parameters(prefix=f"{name}.{idx}.")
+
+    def parameters(self) -> list:
+        """Return all parameters as a list."""
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Mode switching
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        """Enable training mode (dropout active) recursively."""
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        """Enable evaluation mode (dropout disabled) recursively."""
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for element in value:
+                    if isinstance(element, Module):
+                        element._set_mode(training)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a name → array snapshot of all parameters (copies)."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values from :meth:`state_dict` output.
+
+        Raises ``KeyError`` on missing entries and ``ValueError`` on shape
+        mismatch — silent partial loads hide bugs.
+        """
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        if missing:
+            raise KeyError(f"state dict missing parameters: {sorted(missing)}")
+        for name, param in params.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: expected {param.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+
+    # ------------------------------------------------------------------
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError

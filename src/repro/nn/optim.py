@@ -1,0 +1,149 @@
+"""First-order optimizers: SGD (with momentum), Adam, RMSprop.
+
+Each optimizer holds references to the parameters it updates; per-parameter
+state (momenta, second moments) is keyed by identity.  ``weight_decay``
+implements decoupled L2 (added to the gradient), matching the regularized
+losses of Eq. 13/14 when the penalty is not in the loss itself.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .module import Parameter
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is ≤ ``max_norm``.
+
+    Returns the pre-clip norm (useful for logging divergence).
+    """
+    params = [p for p in parameters if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+class Optimizer:
+    """Base optimizer: parameter bookkeeping and ``zero_grad``."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float, weight_decay: float = 0.0):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _grad(self, param: Parameter) -> Optional[np.ndarray]:
+        grad = param.grad
+        if grad is None:
+            return None
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        return grad
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent, optionally with classical momentum."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr, weight_decay)
+        self.momentum = momentum
+        self._velocity = {id(p): np.zeros_like(p.data) for p in self.parameters}
+
+    def step(self) -> None:
+        for p in self.parameters:
+            grad = self._grad(p)
+            if grad is None:
+                continue
+            if self.momentum:
+                v = self._velocity[id(p)]
+                v *= self.momentum
+                v -= self.lr * grad
+                p.data += v
+            else:
+                p.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.001,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr, weight_decay)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._step_count = 0
+        self._m = {id(p): np.zeros_like(p.data) for p in self.parameters}
+        self._v = {id(p): np.zeros_like(p.data) for p in self.parameters}
+
+    def step(self) -> None:
+        self._step_count += 1
+        correction1 = 1.0 - self.beta1**self._step_count
+        correction2 = 1.0 - self.beta2**self._step_count
+        for p in self.parameters:
+            grad = self._grad(p)
+            if grad is None:
+                continue
+            m = self._m[id(p)]
+            v = self._v[id(p)]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / correction1
+            v_hat = v / correction2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class RMSprop(Optimizer):
+    """RMSprop with exponentially decayed squared-gradient average."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.001,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr, weight_decay)
+        self.alpha = alpha
+        self.eps = eps
+        self._sq = {id(p): np.zeros_like(p.data) for p in self.parameters}
+
+    def step(self) -> None:
+        for p in self.parameters:
+            grad = self._grad(p)
+            if grad is None:
+                continue
+            sq = self._sq[id(p)]
+            sq *= self.alpha
+            sq += (1.0 - self.alpha) * grad**2
+            p.data -= self.lr * grad / (np.sqrt(sq) + self.eps)

@@ -1,0 +1,118 @@
+"""Learning-rate schedules and early stopping.
+
+Schedulers wrap an :class:`~repro.nn.optim.Optimizer` and mutate its
+``lr`` when :meth:`step` is called (once per epoch by convention).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .optim import Optimizer
+
+
+class LRScheduler:
+    """Base scheduler: remembers the initial rate and the epoch count."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new rate; returns it."""
+        self.epoch += 1
+        lr = self._rate(self.epoch)
+        self.optimizer.lr = lr
+        return lr
+
+    def _rate(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class StepLR(LRScheduler):
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _rate(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base rate to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0) -> None:
+        if total_epochs < 1:
+            raise ValueError(f"total_epochs must be >= 1, got {total_epochs}")
+        super().__init__(optimizer)
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def _rate(self, epoch: int) -> float:
+        progress = min(epoch, self.total_epochs) / self.total_epochs
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class ExponentialLR(LRScheduler):
+    """Multiply the rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def _rate(self, epoch: int) -> float:
+        return self.base_lr * self.gamma**epoch
+
+
+class EarlyStopping:
+    """Stop training when a monitored metric stops improving.
+
+    Call :meth:`update` once per epoch with the metric value; it returns
+    True when training should stop.  ``mode`` is ``"min"`` for losses /
+    bRMSE and ``"max"`` for AUC-like metrics.
+    """
+
+    def __init__(self, patience: int = 3, min_delta: float = 0.0, mode: str = "min") -> None:
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        if mode not in ("min", "max"):
+            raise ValueError(f"mode must be 'min' or 'max', got {mode!r}")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.mode = mode
+        self.best: Optional[float] = None
+        self.best_epoch = 0
+        self.epoch = 0
+        self._bad_epochs = 0
+
+    def update(self, value: float) -> bool:
+        """Record one epoch's metric; True → stop now."""
+        self.epoch += 1
+        improved = self.best is None or (
+            value < self.best - self.min_delta
+            if self.mode == "min"
+            else value > self.best + self.min_delta
+        )
+        if improved:
+            self.best = value
+            self.best_epoch = self.epoch
+            self._bad_epochs = 0
+        else:
+            self._bad_epochs += 1
+        return self._bad_epochs >= self.patience
+
+    @property
+    def should_stop(self) -> bool:
+        return self._bad_epochs >= self.patience

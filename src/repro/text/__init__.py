@@ -1,0 +1,23 @@
+"""``repro.text`` — tokenization, vocabulary, and pretrained word vectors."""
+
+from .embeddings import cosine_similarity, most_similar, train_ppmi_svd, train_skipgram
+from .pad import pad_batch, pad_document
+from .tokenize import STOP_WORDS, tokenize, tokenize_corpus
+from .vocab import PAD_ID, PAD_TOKEN, UNK_ID, UNK_TOKEN, Vocabulary
+
+__all__ = [
+    "PAD_ID",
+    "PAD_TOKEN",
+    "STOP_WORDS",
+    "UNK_ID",
+    "UNK_TOKEN",
+    "Vocabulary",
+    "cosine_similarity",
+    "most_similar",
+    "pad_batch",
+    "pad_document",
+    "tokenize",
+    "tokenize_corpus",
+    "train_ppmi_svd",
+    "train_skipgram",
+]

@@ -1,0 +1,165 @@
+"""Pretrained word vectors (Sec IV-A: "textual content is pretrained").
+
+Two trainers are provided:
+
+* :func:`train_skipgram` — skip-gram with negative sampling (Mikolov
+  2013), implemented directly in numpy (no autograd needed; the SGNS
+  gradient is closed-form).  This is the default for model pipelines.
+* :func:`train_ppmi_svd` — positive PMI co-occurrence matrix factorised
+  with truncated SVD (Levy & Goldberg 2014).  Deterministic, fast, used
+  for quick experiments and as a cross-check.
+
+Both return a ``(len(vocab), dim)`` matrix aligned to the vocabulary ids
+(rows 0/1 are the pad/unk vectors; pad stays zero).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.linalg import svds
+
+from .vocab import PAD_ID, UNK_ID, Vocabulary
+
+
+def train_skipgram(
+    documents: Sequence[Sequence[str]],
+    vocab: Vocabulary,
+    dim: int = 64,
+    window: int = 4,
+    negatives: int = 5,
+    epochs: int = 2,
+    lr: float = 0.025,
+    seed: int = 0,
+) -> np.ndarray:
+    """Train skip-gram-with-negative-sampling vectors.
+
+    Parameters mirror word2vec defaults scaled down for review-sized
+    corpora.  Negative samples are drawn from the unigram^0.75
+    distribution.  Training is plain SGD over (center, context) pairs.
+    """
+    rng = np.random.default_rng(seed)
+    encoded = [vocab.encode(doc) for doc in documents]
+
+    vocab_size = len(vocab)
+    # Unigram^0.75 negative-sampling table.
+    freqs = np.array(
+        [max(vocab.count(vocab.id_to_token(i)), 1) for i in range(vocab_size)],
+        dtype=np.float64,
+    )
+    freqs[PAD_ID] = 0.0
+    probs = freqs**0.75
+    probs /= probs.sum()
+
+    center_vecs = (rng.random((vocab_size, dim)) - 0.5) / dim
+    context_vecs = np.zeros((vocab_size, dim))
+
+    pairs = _build_pairs(encoded, window)
+    if len(pairs) == 0:
+        center_vecs[PAD_ID] = 0.0
+        return center_vecs
+
+    for epoch in range(epochs):
+        order = rng.permutation(len(pairs))
+        neg_samples = rng.choice(vocab_size, size=(len(pairs), negatives), p=probs)
+        step_lr = lr * (1.0 - epoch / max(epochs, 1)) + 1e-4
+        for row, pair_idx in enumerate(order):
+            center, context = pairs[pair_idx]
+            targets = np.concatenate(([context], neg_samples[row]))
+            labels = np.zeros(len(targets))
+            labels[0] = 1.0
+            v = center_vecs[center]
+            u = context_vecs[targets]  # (1+neg, dim)
+            scores = 1.0 / (1.0 + np.exp(-(u @ v)))
+            gradient = (scores - labels)[:, None]  # (1+neg, 1)
+            grad_v = (gradient * u).sum(axis=0)
+            context_vecs[targets] -= step_lr * gradient * v[None, :]
+            center_vecs[center] -= step_lr * grad_v
+
+    center_vecs[PAD_ID] = 0.0
+    return center_vecs
+
+
+def train_ppmi_svd(
+    documents: Sequence[Sequence[str]],
+    vocab: Vocabulary,
+    dim: int = 64,
+    window: int = 4,
+) -> np.ndarray:
+    """Factorize the positive-PMI co-occurrence matrix with truncated SVD."""
+    encoded = [vocab.encode(doc) for doc in documents]
+    vocab_size = len(vocab)
+    pairs = _build_pairs(encoded, window)
+
+    vectors = np.zeros((vocab_size, dim))
+    if len(pairs) == 0:
+        return vectors
+
+    rows = pairs[:, 0]
+    cols = pairs[:, 1]
+    data = np.ones(len(pairs))
+    cooc = coo_matrix((data, (rows, cols)), shape=(vocab_size, vocab_size)).tocsr()
+    cooc = (cooc + cooc.T) * 0.5
+
+    total = cooc.sum()
+    row_sums = np.asarray(cooc.sum(axis=1)).ravel()
+    col_sums = np.asarray(cooc.sum(axis=0)).ravel()
+
+    cooc = cooc.tocoo()
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pmi = np.log(
+            (cooc.data * total) / (row_sums[cooc.row] * col_sums[cooc.col])
+        )
+    pmi = np.maximum(pmi, 0.0)
+    keep = pmi > 0
+    ppmi = coo_matrix(
+        (pmi[keep], (cooc.row[keep], cooc.col[keep])), shape=(vocab_size, vocab_size)
+    )
+
+    k = min(dim, min(ppmi.shape) - 1)
+    if k < 1 or ppmi.nnz == 0:
+        return vectors
+    u, s, _ = svds(ppmi.tocsc(), k=k)
+    vectors[:, :k] = u * np.sqrt(s)[None, :]
+    vectors[PAD_ID] = 0.0
+    return vectors
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity between two vectors (0 when either is zero)."""
+    norm = np.linalg.norm(a) * np.linalg.norm(b)
+    if norm == 0:
+        return 0.0
+    return float(a @ b / norm)
+
+
+def most_similar(
+    vectors: np.ndarray, vocab: Vocabulary, token: str, top_k: int = 5
+) -> List[tuple]:
+    """Nearest neighbours of ``token`` in the embedding space."""
+    idx = vocab.token_to_id(token)
+    query = vectors[idx]
+    norms = np.linalg.norm(vectors, axis=1)
+    norms[norms == 0] = 1.0
+    scores = vectors @ query / (norms * max(np.linalg.norm(query), 1e-12))
+    scores[[PAD_ID, UNK_ID, idx]] = -np.inf
+    best = np.argsort(-scores)[:top_k]
+    return [(vocab.id_to_token(i), float(scores[i])) for i in best]
+
+
+def _build_pairs(encoded: Sequence[Sequence[int]], window: int) -> np.ndarray:
+    """All (center, context) id pairs within ``window``; pads/unks skipped."""
+    pairs = []
+    for doc in encoded:
+        ids = [i for i in doc if i not in (PAD_ID, UNK_ID)]
+        for pos, center in enumerate(ids):
+            lo = max(0, pos - window)
+            hi = min(len(ids), pos + window + 1)
+            for ctx_pos in range(lo, hi):
+                if ctx_pos != pos:
+                    pairs.append((center, ids[ctx_pos]))
+    if not pairs:
+        return np.zeros((0, 2), dtype=np.int64)
+    return np.asarray(pairs, dtype=np.int64)

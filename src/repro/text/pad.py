@@ -1,0 +1,37 @@
+"""Padding / truncation of encoded documents to fixed length."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .vocab import PAD_ID
+
+
+def pad_document(ids: Sequence[int], length: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Pad or truncate one id sequence to ``length``.
+
+    Returns ``(ids, mask)`` — mask True marks real tokens.  An empty
+    document yields one fake "real" position so downstream softmaxes over
+    the mask remain well-defined (its embedding is the zero pad vector).
+    """
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    ids = list(ids)[:length]
+    mask = np.zeros(length, dtype=bool)
+    mask[: len(ids)] = True
+    if not ids:
+        mask[0] = True
+    out = np.full(length, PAD_ID, dtype=np.int64)
+    out[: len(ids)] = ids
+    return out, mask
+
+
+def pad_batch(documents: Sequence[Sequence[int]], length: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Pad a batch of id sequences to ``(batch, length)`` plus mask."""
+    ids = np.full((len(documents), length), PAD_ID, dtype=np.int64)
+    mask = np.zeros((len(documents), length), dtype=bool)
+    for row, doc in enumerate(documents):
+        ids[row], mask[row] = pad_document(doc, length)
+    return ids, mask

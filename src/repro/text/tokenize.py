@@ -1,0 +1,37 @@
+"""Lightweight tokenization for review text.
+
+The paper pretrains word vectors over raw review text; this module
+provides the deterministic, dependency-free tokenizer the whole pipeline
+shares (simulator output, loaders for real data, and the encoders).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9']+")
+
+# A tiny English stop list — enough to drop glue words without an NLP
+# dependency.  Kept deliberately short: review sentiment words must stay.
+STOP_WORDS = frozenset(
+    """a an the and or but if of at by for with to from in on is are was were
+    be been being it its this that these those i you he she we they my your
+    as so do did does done have has had there then than""".split()
+)
+
+
+def tokenize(text: str, drop_stop_words: bool = False) -> List[str]:
+    """Lowercase and split ``text`` into word tokens.
+
+    Keeps alphanumerics and apostrophes (``don't`` stays one token).
+    """
+    tokens = _TOKEN_PATTERN.findall(text.lower())
+    if drop_stop_words:
+        tokens = [t for t in tokens if t not in STOP_WORDS]
+    return tokens
+
+
+def tokenize_corpus(texts: Iterable[str], drop_stop_words: bool = False) -> List[List[str]]:
+    """Tokenize every document in ``texts``."""
+    return [tokenize(t, drop_stop_words=drop_stop_words) for t in texts]

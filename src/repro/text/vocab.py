@@ -1,0 +1,84 @@
+"""Vocabulary: token ↔ integer id mapping with frequency-based pruning.
+
+Id 0 is reserved for padding and id 1 for unknown tokens, matching the
+``padding_idx=0`` convention of :class:`repro.nn.Embedding`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence
+
+PAD_TOKEN = "<pad>"
+UNK_TOKEN = "<unk>"
+PAD_ID = 0
+UNK_ID = 1
+
+
+class Vocabulary:
+    """Immutable token↔id map built from a tokenized corpus.
+
+    Parameters
+    ----------
+    documents:
+        Iterable of token lists.
+    min_count:
+        Drop tokens seen fewer than this many times.
+    max_size:
+        Keep at most this many tokens (most frequent first), not counting
+        the two reserved slots.
+    """
+
+    def __init__(
+        self,
+        documents: Iterable[Sequence[str]],
+        min_count: int = 1,
+        max_size: Optional[int] = None,
+    ) -> None:
+        if min_count < 1:
+            raise ValueError(f"min_count must be >= 1, got {min_count}")
+        counts = Counter()
+        for doc in documents:
+            counts.update(doc)
+        # Most frequent first; ties broken alphabetically for determinism.
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        kept = [tok for tok, c in ranked if c >= min_count]
+        if max_size is not None:
+            kept = kept[:max_size]
+        self._id_to_token: List[str] = [PAD_TOKEN, UNK_TOKEN] + kept
+        self._token_to_id: Dict[str, int] = {
+            tok: idx for idx, tok in enumerate(self._id_to_token)
+        }
+        self._counts = counts
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def token_to_id(self, token: str) -> int:
+        """Map a token to its id (UNK_ID when unseen)."""
+        return self._token_to_id.get(token, UNK_ID)
+
+    def id_to_token(self, idx: int) -> str:
+        """Map an id back to its token string."""
+        return self._id_to_token[idx]
+
+    def encode(self, tokens: Sequence[str]) -> List[int]:
+        """Map a token sequence to ids."""
+        get = self._token_to_id.get
+        return [get(t, UNK_ID) for t in tokens]
+
+    def decode(self, ids: Sequence[int]) -> List[str]:
+        """Map ids back to tokens."""
+        return [self._id_to_token[i] for i in ids]
+
+    def count(self, token: str) -> int:
+        """Corpus frequency of ``token`` (0 when unseen)."""
+        return self._counts.get(token, 0)
+
+    @property
+    def tokens(self) -> List[str]:
+        """All tokens including the reserved pad/unk entries."""
+        return list(self._id_to_token)

@@ -1,0 +1,65 @@
+"""Tests for the review-graph utilities and the FraudEagle baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FraudEagle, SpEaglePlus, build_review_graph, graph_statistics
+from repro.data import load_dataset, train_test_split
+from repro.metrics import auc
+
+
+@pytest.fixture(scope="module")
+def data():
+    dataset = load_dataset("yelpchi", seed=9, scale=0.25)
+    train, test = train_test_split(dataset, seed=9)
+    return dataset, train, test
+
+
+class TestReviewGraph:
+    def test_bipartite_structure(self, data):
+        dataset, _, _ = data
+        graph = build_review_graph(dataset)
+        assert graph.number_of_nodes() == dataset.num_users + dataset.num_items
+        for u, v in graph.edges():
+            assert u[0] != v[0], "edges must connect a user to an item"
+
+    def test_edge_carries_reviews(self, data):
+        dataset, _, _ = data
+        graph = build_review_graph(dataset)
+        review = dataset.reviews[0]
+        edge = graph[("u", review.user_id)][("i", review.item_id)]
+        assert 0 in edge["reviews"]
+        assert edge["sign"] in (-1, 1)
+
+    def test_statistics_keys(self, data):
+        dataset, _, _ = data
+        stats = graph_statistics(dataset)
+        assert {"users", "items", "edges", "density", "largest_component_share"} <= set(stats)
+        assert 0.0 < stats["positive_edge_share"] < 1.0
+
+    def test_edge_count_at_most_reviews(self, data):
+        dataset, _, _ = data
+        stats = graph_statistics(dataset)
+        assert stats["edges"] <= len(dataset)
+
+
+class TestFraudEagle:
+    def test_unsupervised_better_than_chance(self, data):
+        dataset, train, test = data
+        model = FraudEagle().fit(dataset, train)
+        assert auc(model.score_subset(test), test.labels) > 0.55
+
+    def test_weaker_than_speagle_plus(self, data):
+        # Metadata priors + supervision should not hurt (paper's framing:
+        # SpEagle+ is the supervised extension of FraudEagle/SpEagle).
+        dataset, train, test = data
+        fe = FraudEagle().fit(dataset, train)
+        sp = SpEaglePlus(supervision=1.0, seed=0).fit(dataset, train)
+        assert auc(sp.score_subset(test), test.labels) >= auc(
+            fe.score_subset(test), test.labels
+        ) - 0.05
+
+    def test_unfitted_raises(self, data):
+        _, _, test = data
+        with pytest.raises(RuntimeError):
+            FraudEagle().score_subset(test)

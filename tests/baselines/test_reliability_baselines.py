@@ -1,0 +1,170 @@
+"""Tests for the reliability baselines: features, ICWSM13, SpEagle+, REV2."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FEATURE_NAMES,
+    ICWSM13,
+    REV2,
+    LogisticRegression,
+    SpEaglePlus,
+    review_features,
+    standardize,
+    suspicion_priors,
+)
+from repro.data import load_dataset, train_test_split
+from repro.metrics import auc
+
+
+@pytest.fixture(scope="module")
+def data():
+    dataset = load_dataset("yelpchi", seed=6, scale=0.3)
+    train, test = train_test_split(dataset, seed=6)
+    return dataset, train, test
+
+
+class TestFeatures:
+    def test_shape(self, data):
+        dataset, _, _ = data
+        feats = review_features(dataset)
+        assert feats.shape == (len(dataset), len(FEATURE_NAMES))
+        assert np.isfinite(feats).all()
+
+    def test_standardize(self, data):
+        dataset, _, _ = data
+        feats = standardize(review_features(dataset))
+        np.testing.assert_allclose(feats.mean(axis=0), 0.0, atol=1e-9)
+        stds = feats.std(axis=0)
+        assert ((np.abs(stds - 1.0) < 1e-9) | (stds == 0.0)).all()
+
+    def test_standardize_constant_column(self):
+        feats = np.ones((5, 2))
+        out = standardize(feats)
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_suspicion_priors_range(self, data):
+        dataset, _, _ = data
+        priors = suspicion_priors(dataset)
+        assert ((priors > 0) & (priors < 1)).all()
+
+    def test_suspicion_priors_informative(self, data):
+        # Fakes should receive higher suspicion than benign reviews on
+        # average — the priors are what SpEagle propagates.
+        dataset, _, _ = data
+        priors = suspicion_priors(dataset)
+        assert priors[dataset.labels == 0].mean() > priors[dataset.labels == 1].mean()
+
+
+class TestLogisticRegression:
+    def test_separable_data(self):
+        rng = np.random.default_rng(0)
+        x = np.concatenate([rng.normal(-2, 0.5, (50, 2)), rng.normal(2, 0.5, (50, 2))])
+        y = np.concatenate([np.zeros(50), np.ones(50)])
+        clf = LogisticRegression().fit(x, y)
+        pred = clf.predict_proba(x)
+        assert ((pred > 0.5) == y.astype(bool)).mean() > 0.95
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict_proba(np.zeros((1, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(iterations=0)
+
+
+class TestICWSM13:
+    def test_better_than_chance(self, data):
+        dataset, train, test = data
+        model = ICWSM13().fit(dataset, train)
+        scores = model.score_subset(test)
+        assert auc(scores, test.labels) > 0.7
+
+    def test_scores_are_probabilities(self, data):
+        dataset, train, test = data
+        model = ICWSM13().fit(dataset, train)
+        scores = model.score_subset(test)
+        assert ((scores >= 0) & (scores <= 1)).all()
+
+    def test_unfitted_raises(self, data):
+        _, _, test = data
+        with pytest.raises(RuntimeError):
+            ICWSM13().score_subset(test)
+
+
+class TestSpEaglePlus:
+    def test_better_than_chance(self, data):
+        dataset, train, test = data
+        model = SpEaglePlus(seed=0).fit(dataset, train)
+        assert auc(model.score_subset(test), test.labels) > 0.6
+
+    def test_supervision_helps(self, data):
+        dataset, train, test = data
+        unsup = SpEaglePlus(supervision=0.0, seed=0).fit(dataset, train)
+        sup = SpEaglePlus(supervision=1.0, seed=0).fit(dataset, train)
+        auc_unsup = auc(unsup.score_subset(test), test.labels)
+        auc_sup = auc(sup.score_subset(test), test.labels)
+        assert auc_sup >= auc_unsup - 0.02
+
+    def test_beliefs_normalized(self, data):
+        dataset, train, test = data
+        model = SpEaglePlus(seed=0).fit(dataset, train)
+        scores = model.score_subset(test)
+        assert ((scores >= 0) & (scores <= 1)).all()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SpEaglePlus(epsilon=0.6)
+        with pytest.raises(ValueError):
+            SpEaglePlus(damping=1.0)
+        with pytest.raises(ValueError):
+            SpEaglePlus(supervision=2.0)
+
+    def test_unfitted_raises(self, data):
+        _, _, test = data
+        with pytest.raises(RuntimeError):
+            SpEaglePlus().score_subset(test)
+
+
+class TestREV2:
+    def test_converges_and_scores(self, data):
+        dataset, train, test = data
+        model = REV2().fit(dataset, train)
+        scores = model.score_subset(test)
+        assert ((scores >= 0) & (scores <= 1)).all()
+
+    def test_fairness_goodness_shapes(self, data):
+        dataset, train, _ = data
+        model = REV2().fit(dataset, train)
+        assert model.fairness.shape == (dataset.num_users,)
+        assert model.goodness.shape == (dataset.num_items,)
+        assert ((model.goodness >= -1) & (model.goodness <= 1)).all()
+
+    def test_deviant_user_less_fair(self):
+        # Construct an explicit case: one user always disagrees with the
+        # consensus on well-reviewed items.
+        from repro.data import BENIGN, FAKE, Review, ReviewDataset
+
+        reviews = []
+        for item in range(4):
+            for user in range(4):
+                reviews.append(Review(user, item, 5.0, BENIGN, "great", float(user)))
+            reviews.append(Review(4, item, 1.0, FAKE, "bad", 10.0))
+        ds = ReviewDataset(reviews)
+        train, _ = train_test_split(ds, train_fraction=0.7, seed=0)
+        model = REV2().fit(ds, train)
+        assert model.fairness[4] < model.fairness[:4].min()
+
+    def test_invalid_gammas(self):
+        with pytest.raises(ValueError):
+            REV2(gamma1=-1.0)
+
+    def test_unfitted_raises(self, data):
+        _, _, test = data
+        with pytest.raises(RuntimeError):
+            REV2().score_subset(test)

@@ -1,0 +1,79 @@
+"""Tests for SVD++ and the trust-weighted extension."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PMF, SVDpp, TrustWeightedSVDpp
+from repro.data import load_dataset, train_test_split
+from repro.metrics import rmse
+
+
+@pytest.fixture(scope="module")
+def data():
+    dataset = load_dataset("yelpchi", seed=11, scale=0.25)
+    train, test = train_test_split(dataset, seed=11)
+    return dataset, train, test
+
+
+class TestSVDpp:
+    def test_fit_predict(self, data):
+        dataset, train, test = data
+        model = SVDpp(epochs=8, seed=0).fit(dataset, train)
+        pred = model.predict_subset(test)
+        assert pred.shape == (len(test),)
+        assert np.isfinite(pred).all()
+
+    def test_beats_global_mean(self, data):
+        dataset, train, test = data
+        model = SVDpp(epochs=10, seed=0).fit(dataset, train)
+        pred = model.predict_subset(test)
+        baseline = np.full(len(test), train.ratings.mean())
+        assert rmse(pred, test.ratings) < rmse(baseline, test.ratings)
+
+    def test_implicit_feedback_from_train_only(self, data):
+        dataset, train, test = data
+        model = SVDpp(epochs=1, seed=0).fit(dataset, train)
+        train_set = set(train.index_array.tolist())
+        train_items_by_user = {}
+        for idx in train_set:
+            train_items_by_user.setdefault(dataset.user_ids[idx], set()).add(
+                dataset.item_ids[idx]
+            )
+        for user, pairs in enumerate(model._neighbourhoods):
+            expected = train_items_by_user.get(user, set())
+            assert {item for item, _ in pairs} <= expected | set()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SVDpp().predict(np.array([0]), np.array([0]))
+
+    def test_invalid_factors(self):
+        with pytest.raises(ValueError):
+            SVDpp(factors=0)
+
+    def test_deterministic(self, data):
+        dataset, train, test = data
+        a = SVDpp(epochs=2, seed=3).fit(dataset, train).predict_subset(test)
+        b = SVDpp(epochs=2, seed=3).fit(dataset, train).predict_subset(test)
+        np.testing.assert_allclose(a, b)
+
+
+class TestTrustWeightedSVDpp:
+    def test_weights_differ_from_plain(self, data):
+        dataset, train, _ = data
+        plain = SVDpp(epochs=1, seed=0).fit(dataset, train)
+        trusted = TrustWeightedSVDpp(epochs=1, seed=0).fit(dataset, train)
+        plain_w = [w for pairs in plain._neighbourhoods for _, w in pairs]
+        trusted_w = [w for pairs in trusted._neighbourhoods for _, w in pairs]
+        assert np.allclose(plain_w, 1.0)
+        assert not np.allclose(trusted_w, 1.0)
+
+    def test_trust_weights_in_unit_interval(self, data):
+        dataset, train, _ = data
+        model = TrustWeightedSVDpp(epochs=1, seed=0).fit(dataset, train)
+        for pairs in model._neighbourhoods:
+            for _, w in pairs:
+                assert 0.0 <= w <= 1.0
+
+    def test_name(self):
+        assert TrustWeightedSVDpp().name == "TrustSVD++"

@@ -1,0 +1,51 @@
+"""Tests for saving/loading trained RRRE models."""
+
+import numpy as np
+import pytest
+
+from repro.core import RRRETrainer, fast_config
+from repro.data import load_dataset, train_test_split
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    dataset = load_dataset("yelpchi", seed=12, scale=0.2)
+    train, test = train_test_split(dataset, seed=12)
+    trainer = RRRETrainer(fast_config(epochs=2, seed=12))
+    trainer.fit(dataset, train)
+    return dataset, train, test, trainer
+
+
+class TestSaveLoad:
+    def test_roundtrip_predictions_identical(self, fitted, tmp_path):
+        dataset, train, test, trainer = fitted
+        path = tmp_path / "model.npz"
+        trainer.save(path)
+
+        fresh = RRRETrainer(fast_config(epochs=2, seed=12))
+        fresh.load(path, dataset, train)
+
+        original = trainer.predict_subset(test)
+        restored = fresh.predict_subset(test)
+        np.testing.assert_allclose(original[0], restored[0])
+        np.testing.assert_allclose(original[1], restored[1])
+
+    def test_save_unfitted_raises(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            RRRETrainer(fast_config()).save(tmp_path / "x.npz")
+
+    def test_loaded_model_can_evaluate(self, fitted, tmp_path):
+        dataset, train, test, trainer = fitted
+        path = tmp_path / "model.npz"
+        trainer.save(path)
+        fresh = RRRETrainer(fast_config(epochs=2, seed=12)).load(path, dataset, train)
+        metrics = fresh.evaluate(test)
+        assert np.isfinite(metrics["brmse"])
+
+    def test_load_wrong_architecture_raises(self, fitted, tmp_path):
+        dataset, train, _, trainer = fitted
+        path = tmp_path / "model.npz"
+        trainer.save(path)
+        wrong = RRRETrainer(fast_config(epochs=2, seed=12, review_dim=16))
+        with pytest.raises((ValueError, KeyError)):
+            wrong.load(path, dataset, train)

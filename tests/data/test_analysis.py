@@ -1,0 +1,92 @@
+"""Tests for the dataset-analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BENIGN,
+    FAKE,
+    Review,
+    ReviewDataset,
+    attacked_items,
+    degree_quantiles,
+    describe,
+    fake_rating_gap,
+    load_dataset,
+    rating_histogram,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("yelpchi", seed=3, scale=0.3)
+
+
+def toy_dataset():
+    reviews = [
+        Review(0, 0, 5.0, BENIGN, "good", 1.0),
+        Review(1, 0, 4.0, BENIGN, "fine", 2.0),
+        Review(2, 0, 1.0, FAKE, "bad fake", 3.0),
+        Review(0, 1, 3.0, BENIGN, "ok", 4.0),
+    ]
+    return ReviewDataset(reviews)
+
+
+class TestHistograms:
+    def test_rating_histogram_counts(self):
+        hist = rating_histogram(toy_dataset())
+        assert hist == {5.0: 1, 4.0: 1, 1.0: 1, 3.0: 1}
+
+    def test_histogram_totals(self, dataset):
+        hist = rating_histogram(dataset)
+        assert sum(hist.values()) == len(dataset)
+
+    def test_degree_quantiles_keys(self, dataset):
+        q = degree_quantiles(dataset.user_degrees())
+        assert {"q0", "q50", "q100"} <= set(q)
+        assert q["q0"] <= q["q50"] <= q["q100"]
+
+    def test_degree_quantiles_empty_raises(self):
+        with pytest.raises(ValueError):
+            degree_quantiles(np.array([]))
+
+
+class TestAttackSummaries:
+    def test_toy_attack_detected(self):
+        summaries = attacked_items(toy_dataset())
+        assert len(summaries) == 1
+        s = summaries[0]
+        assert s.item_id == 0
+        assert s.fake_reviews == 1
+        assert s.total_reviews == 3
+        # The fake 1-star drags the visible mean below the benign mean.
+        assert s.rating_shift < 0
+
+    def test_min_fakes_filter(self):
+        assert attacked_items(toy_dataset(), min_fakes=2) == []
+
+    def test_sorted_by_fakes(self, dataset):
+        summaries = attacked_items(dataset)
+        fakes = [s.fake_reviews for s in summaries]
+        assert fakes == sorted(fakes, reverse=True)
+
+    def test_shares_valid(self, dataset):
+        for s in attacked_items(dataset):
+            assert 0.0 < s.fake_share <= 1.0
+
+
+class TestGapAndDescribe:
+    def test_fake_rating_gap_toy(self):
+        # benign mean 4.0, fake mean 1.0 → gap -3.0
+        assert fake_rating_gap(toy_dataset()) == pytest.approx(-3.0)
+
+    def test_gap_single_class_raises(self):
+        ds = ReviewDataset([Review(0, 0, 5.0, BENIGN, "x", 0.0)])
+        with pytest.raises(ValueError):
+            fake_rating_gap(ds)
+
+    def test_describe_mentions_core_facts(self, dataset):
+        text = describe(dataset)
+        assert dataset.name in text
+        assert "user degree" in text
+        assert "attacked items" in text

@@ -1,0 +1,80 @@
+"""Tests for JSONL dataset persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset, load_dataset_jsonl, save_dataset_jsonl
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("musics", seed=2, scale=0.2)
+
+
+class TestRoundTrip:
+    def test_identical_payload(self, dataset, tmp_path):
+        path = tmp_path / "ds.jsonl"
+        save_dataset_jsonl(dataset, path)
+        restored = load_dataset_jsonl(path)
+        assert len(restored) == len(dataset)
+        assert restored.name == dataset.name
+        np.testing.assert_array_equal(restored.ratings, dataset.ratings)
+        np.testing.assert_array_equal(restored.labels, dataset.labels)
+        np.testing.assert_array_equal(restored.user_ids, dataset.user_ids)
+        assert [r.text for r in restored] == [r.text for r in dataset]
+
+    def test_names_preserved(self, dataset, tmp_path):
+        path = tmp_path / "ds.jsonl"
+        save_dataset_jsonl(dataset, path)
+        restored = load_dataset_jsonl(path)
+        assert restored.user_names == dataset.user_names
+        assert restored.item_names == dataset.item_names
+
+    def test_indexes_rebuilt(self, dataset, tmp_path):
+        path = tmp_path / "ds.jsonl"
+        save_dataset_jsonl(dataset, path)
+        restored = load_dataset_jsonl(path)
+        assert restored.reviews_by_user[0] == dataset.reviews_by_user[0]
+
+
+class TestErrorHandling:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_dataset_jsonl(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "v999.jsonl"
+        path.write_text(json.dumps({"format_version": 999}) + "\n")
+        with pytest.raises(ValueError, match="format_version"):
+            load_dataset_jsonl(path)
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "header.jsonl"
+        path.write_text(
+            json.dumps({"format_version": 1, "name": "x"}) + "\n"
+        )
+        with pytest.raises(ValueError, match="no review records"):
+            load_dataset_jsonl(path)
+
+    def test_malformed_record(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"format_version": 1, "name": "x"})
+            + "\n"
+            + json.dumps({"u": 0})
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="malformed"):
+            load_dataset_jsonl(path)
+
+    def test_blank_lines_skipped(self, dataset, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        save_dataset_jsonl(dataset, path)
+        content = path.read_text().replace("\n", "\n\n", 3)
+        path.write_text(content)
+        restored = load_dataset_jsonl(path)
+        assert len(restored) == len(dataset)

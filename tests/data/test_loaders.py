@@ -1,0 +1,129 @@
+"""Tests for the real-format loaders (Yelp metadata, Amazon JSON-lines)."""
+
+import json
+
+import pytest
+
+from repro.data import load_amazon_json, load_yelp_metadata
+
+
+@pytest.fixture
+def yelp_files(tmp_path):
+    metadata = tmp_path / "metadata"
+    metadata.write_text(
+        "u1 prod1 5.0 1 2012-01-15\n"
+        "u2 prod1 1.0 -1 2012-01-16\n"
+        "u1 prod2 4.0 1 2012-02-01\n"
+    )
+    content = tmp_path / "reviewContent"
+    content.write_text(
+        "u1 prod1 2012-01-15 Great food and atmosphere.\n"
+        "u2 prod1 2012-01-16 Worst place ever avoid.\n"
+    )
+    return metadata, content
+
+
+class TestYelpLoader:
+    def test_parses_counts(self, yelp_files):
+        metadata, content = yelp_files
+        ds = load_yelp_metadata(metadata, content)
+        assert len(ds) == 3
+        assert ds.num_users == 2
+        assert ds.num_items == 2
+
+    def test_labels_mapped(self, yelp_files):
+        metadata, content = yelp_files
+        ds = load_yelp_metadata(metadata, content)
+        assert ds.reviews[0].label == 1
+        assert ds.reviews[1].label == 0
+
+    def test_text_joined(self, yelp_files):
+        metadata, content = yelp_files
+        ds = load_yelp_metadata(metadata, content)
+        assert "Great food" in ds.reviews[0].text
+        assert ds.reviews[2].text == ""  # no content line for that review
+
+    def test_timestamps_parsed(self, yelp_files):
+        metadata, content = yelp_files
+        ds = load_yelp_metadata(metadata, content)
+        assert ds.reviews[1].timestamp > ds.reviews[0].timestamp
+
+    def test_names_preserved(self, yelp_files):
+        metadata, content = yelp_files
+        ds = load_yelp_metadata(metadata, content)
+        assert "u1" in ds.user_names
+        assert "prod2" in ds.item_names
+
+    def test_metadata_without_content_file(self, yelp_files):
+        metadata, _ = yelp_files
+        ds = load_yelp_metadata(metadata)
+        assert all(r.text == "" for r in ds.reviews)
+
+    def test_malformed_line_raises(self, tmp_path):
+        bad = tmp_path / "metadata"
+        bad.write_text("u1 prod1 5.0\n")
+        with pytest.raises(ValueError, match="expected 5 fields"):
+            load_yelp_metadata(bad)
+
+
+def write_amazon(tmp_path, rows):
+    path = tmp_path / "reviews.json"
+    path.write_text("\n".join(json.dumps(r) for r in rows))
+    return path
+
+
+def amazon_row(user, item, helpful, total, rating=4.0, text="nice album"):
+    return {
+        "reviewerID": user,
+        "asin": item,
+        "overall": rating,
+        "helpful": [helpful, total],
+        "unixReviewTime": 1_300_000_000,
+        "reviewText": text,
+    }
+
+
+class TestAmazonLoader:
+    def test_vote_thresholds(self, tmp_path):
+        rows = [
+            amazon_row("u1", "i1", 20, 25),  # 0.8 → benign
+            amazon_row("u1", "i2", 2, 10),  # 0.2 → fake
+            amazon_row("u1", "i3", 5, 10),  # 0.5 → dropped
+        ]
+        path = write_amazon(tmp_path, rows)
+        ds = load_amazon_json(path, min_votes=20)
+        assert len(ds) == 2
+        labels = {ds.item_names[r.item_id]: r.label for r in ds.reviews}
+        assert labels == {"i1": 1, "i2": 0}
+
+    def test_min_votes_filters_users(self, tmp_path):
+        rows = [
+            amazon_row("quiet", "i1", 3, 3),  # only 3 votes in total
+            amazon_row("active", "i2", 18, 20),
+            amazon_row("active", "i3", 1, 10),
+        ]
+        path = write_amazon(tmp_path, rows)
+        ds = load_amazon_json(path, min_votes=20)
+        assert ds.num_users == 1
+        assert "quiet" not in ds.user_names
+
+    def test_zero_total_votes_dropped(self, tmp_path):
+        rows = [amazon_row("u", "i1", 0, 0), amazon_row("u", "i2", 20, 25)]
+        path = write_amazon(tmp_path, rows)
+        ds = load_amazon_json(path, min_votes=10)
+        assert len(ds) == 1
+
+    def test_all_filtered_raises(self, tmp_path):
+        path = write_amazon(tmp_path, [amazon_row("u", "i", 1, 2)])
+        with pytest.raises(ValueError, match="no labelled reviews"):
+            load_amazon_json(path, min_votes=100)
+
+    def test_invalid_thresholds(self, tmp_path):
+        path = write_amazon(tmp_path, [amazon_row("u", "i", 20, 20)])
+        with pytest.raises(ValueError):
+            load_amazon_json(path, benign_threshold=0.3, fake_threshold=0.7)
+
+    def test_timestamp_converted_to_days(self, tmp_path):
+        path = write_amazon(tmp_path, [amazon_row("u", "i", 20, 20)])
+        ds = load_amazon_json(path, min_votes=10)
+        assert ds.reviews[0].timestamp == pytest.approx(1_300_000_000 / 86400.0)

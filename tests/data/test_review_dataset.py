@@ -1,0 +1,114 @@
+"""Tests for the Review data model and ReviewDataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data import BENIGN, FAKE, Review, ReviewDataset
+
+
+def make_reviews():
+    return [
+        Review(0, 0, 5.0, BENIGN, "great food here", 10.0),
+        Review(0, 1, 2.0, BENIGN, "bad service today", 20.0),
+        Review(1, 0, 1.0, FAKE, "worst ever avoid", 15.0),
+        Review(2, 1, 4.0, BENIGN, "nice place and food", 5.0),
+    ]
+
+
+class TestReview:
+    def test_invalid_label_raises(self):
+        with pytest.raises(ValueError):
+            Review(0, 0, 5.0, 2, "text", 0.0)
+
+    def test_is_benign(self):
+        assert Review(0, 0, 5.0, BENIGN, "x", 0.0).is_benign
+        assert not Review(0, 0, 5.0, FAKE, "x", 0.0).is_benign
+
+    def test_frozen(self):
+        review = Review(0, 0, 5.0, BENIGN, "x", 0.0)
+        with pytest.raises(AttributeError):
+            review.rating = 4.0
+
+
+class TestReviewDataset:
+    def test_basic_shapes(self):
+        ds = ReviewDataset(make_reviews())
+        assert len(ds) == 4
+        assert ds.num_users == 3
+        assert ds.num_items == 2
+        assert ds.user_ids.shape == (4,)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ReviewDataset([])
+
+    def test_negative_id_raises(self):
+        with pytest.raises(ValueError):
+            ReviewDataset([Review(-1, 0, 5.0, BENIGN, "x", 0.0)])
+
+    def test_reviews_by_user_time_sorted(self):
+        ds = ReviewDataset(make_reviews())
+        # User 0 wrote reviews at t=10 and t=20 → indices in that order.
+        times = [ds.reviews[i].timestamp for i in ds.reviews_by_user[0]]
+        assert times == sorted(times)
+
+    def test_reviews_by_item_collects_all(self):
+        ds = ReviewDataset(make_reviews())
+        assert len(ds.reviews_by_item[0]) == 2
+        assert len(ds.reviews_by_item[1]) == 2
+
+    def test_fake_fraction(self):
+        ds = ReviewDataset(make_reviews())
+        assert ds.fake_fraction() == pytest.approx(0.25)
+
+    def test_degrees(self):
+        ds = ReviewDataset(make_reviews())
+        np.testing.assert_array_equal(ds.user_degrees(), [2, 1, 1])
+        np.testing.assert_array_equal(ds.item_degrees(), [2, 2])
+
+    def test_statistics_keys(self):
+        stats = ReviewDataset(make_reviews()).statistics()
+        assert {"reviews", "fake_fraction", "items", "users"} <= set(stats)
+
+    def test_tokens_cached(self):
+        ds = ReviewDataset(make_reviews())
+        assert ds.tokens is ds.tokens
+        assert ds.tokens[0] == ["great", "food", "here"]
+
+    def test_default_names(self):
+        ds = ReviewDataset(make_reviews())
+        assert ds.user_names[0] == "user_0"
+        assert ds.item_names[1] == "item_1"
+
+    def test_name_length_validation(self):
+        with pytest.raises(ValueError):
+            ReviewDataset(make_reviews(), user_names=["only-one"])
+
+    def test_vocabulary_built_over_all_text(self):
+        ds = ReviewDataset(make_reviews())
+        vocab = ds.build_vocabulary()
+        assert "food" in vocab
+        assert "worst" in vocab
+
+
+class TestReviewSubset:
+    def test_column_views(self):
+        ds = ReviewDataset(make_reviews())
+        sub = ds.subset([0, 2])
+        np.testing.assert_array_equal(sub.user_ids, [0, 1])
+        np.testing.assert_array_equal(sub.labels, [1, 0])
+        np.testing.assert_array_equal(sub.ratings, [5.0, 1.0])
+
+    def test_iteration_yields_reviews(self):
+        ds = ReviewDataset(make_reviews())
+        sub = ds.subset([3])
+        assert [r.rating for r in sub] == [4.0]
+
+    def test_out_of_range_raises(self):
+        ds = ReviewDataset(make_reviews())
+        with pytest.raises(IndexError):
+            ds.subset([99])
+
+    def test_len(self):
+        ds = ReviewDataset(make_reviews())
+        assert len(ds.subset([1, 2, 3])) == 3

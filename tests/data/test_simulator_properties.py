@@ -1,0 +1,80 @@
+"""Property-based tests (hypothesis) for the platform simulator.
+
+Invariants that must hold for *any* reasonable configuration, not just
+the presets: id contiguity, label/rating ranges, fake-share fidelity,
+determinism.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import PlatformConfig, generate_platform
+
+
+def configs():
+    return st.builds(
+        PlatformConfig,
+        num_items=st.integers(3, 25),
+        num_benign_users=st.integers(10, 120),
+        num_reviews=st.integers(60, 400),
+        fake_fraction=st.floats(0.0, 0.4),
+        fraud_reuse=st.floats(1.0, 5.0),
+        campaign_size_mean=st.floats(1.0, 15.0),
+        camouflage_rate=st.floats(0.0, 0.8),
+        text_confusion=st.floats(0.0, 0.8),
+        item_popularity_alpha=st.floats(0.0, 1.5),
+        user_activity_alpha=st.floats(0.0, 1.5),
+        strategic_polarity=st.booleans(),
+        seed=st.integers(0, 10_000),
+    )
+
+
+class TestSimulatorInvariants:
+    @given(configs())
+    @settings(max_examples=25, deadline=None)
+    def test_ids_contiguous_and_nonempty(self, config):
+        ds = generate_platform(config)
+        assert len(ds) > 0
+        assert set(np.unique(ds.user_ids)) == set(range(ds.num_users))
+        assert set(np.unique(ds.item_ids)) == set(range(ds.num_items))
+
+    @given(configs())
+    @settings(max_examples=25, deadline=None)
+    def test_ratings_and_labels_valid(self, config):
+        ds = generate_platform(config)
+        assert ds.ratings.min() >= 1.0
+        assert ds.ratings.max() <= 5.0
+        assert set(np.unique(ds.labels)) <= {0, 1}
+
+    @given(configs())
+    @settings(max_examples=25, deadline=None)
+    def test_fake_share_tracks_config(self, config):
+        ds = generate_platform(config)
+        # Camouflage adds benign reviews, so measured share can only be
+        # at or below target plus small-sample noise.
+        tolerance = 0.1 + 2.0 / np.sqrt(len(ds))
+        assert ds.fake_fraction() <= config.fake_fraction + tolerance
+
+    @given(configs())
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic(self, config):
+        a = generate_platform(config)
+        b = generate_platform(config)
+        np.testing.assert_array_equal(a.ratings, b.ratings)
+        assert [r.text for r in a.reviews[:20]] == [r.text for r in b.reviews[:20]]
+
+    @given(configs())
+    @settings(max_examples=25, deadline=None)
+    def test_every_entity_reviewed_and_texts_nonempty(self, config):
+        ds = generate_platform(config)
+        assert (ds.user_degrees() > 0).all()
+        assert (ds.item_degrees() > 0).all()
+        assert all(r.text for r in ds.reviews)
+
+    @given(configs())
+    @settings(max_examples=25, deadline=None)
+    def test_timestamps_within_horizon(self, config):
+        ds = generate_platform(config)
+        assert ds.timestamps.min() >= 0.0
+        assert ds.timestamps.max() <= config.horizon_days

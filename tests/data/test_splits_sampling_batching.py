@@ -1,0 +1,184 @@
+"""Tests for the split protocol, input-slot assembly, and batching."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BENIGN,
+    InputSlots,
+    Review,
+    ReviewDataset,
+    ReviewTextTable,
+    iter_batches,
+    load_dataset,
+    train_test_split,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("yelpchi", seed=0, scale=0.3)
+
+
+class TestTrainTestSplit:
+    def test_disjoint_and_complete(self, dataset):
+        train, test = train_test_split(dataset, seed=1)
+        train_set = set(train.index_array.tolist())
+        test_set = set(test.index_array.tolist())
+        assert not train_set & test_set
+        assert len(train_set | test_set) == len(dataset)
+
+    def test_fraction_respected(self, dataset):
+        train, test = train_test_split(dataset, train_fraction=0.7, seed=1)
+        assert abs(len(train) / len(dataset) - 0.7) < 0.02
+
+    def test_pin_entities_guarantees_coverage(self, dataset):
+        train, _ = train_test_split(dataset, seed=1, pin_entities=True)
+        covered_users = set(train.user_ids.tolist())
+        covered_items = set(train.item_ids.tolist())
+        assert covered_users == set(range(dataset.num_users))
+        assert covered_items == set(range(dataset.num_items))
+
+    def test_random_split_may_leave_cold_start(self, dataset):
+        # With singleton users around, an unpinned split usually leaves
+        # some user without a training review.
+        train, _ = train_test_split(dataset, seed=1, pin_entities=False)
+        covered_users = set(train.user_ids.tolist())
+        assert len(covered_users) < dataset.num_users
+
+    def test_seed_determinism(self, dataset):
+        a, _ = train_test_split(dataset, seed=9)
+        b, _ = train_test_split(dataset, seed=9)
+        np.testing.assert_array_equal(a.index_array, b.index_array)
+
+    def test_invalid_fraction(self, dataset):
+        with pytest.raises(ValueError):
+            train_test_split(dataset, train_fraction=1.0)
+
+    def test_tiny_dataset_empty_test_raises(self):
+        ds = ReviewDataset([Review(0, 0, 3.0, BENIGN, "x", 0.0)])
+        with pytest.raises(ValueError):
+            train_test_split(ds, train_fraction=0.9)
+
+
+class TestReviewTextTable:
+    def test_shapes_include_blank_row(self, dataset):
+        table = ReviewTextTable.build(dataset, max_len=12)
+        assert table.token_ids.shape == (len(dataset) + 1, 12)
+        assert table.blank_index == len(dataset)
+
+    def test_blank_row_is_padding(self, dataset):
+        table = ReviewTextTable.build(dataset, max_len=12)
+        assert (table.token_ids[table.blank_index] == 0).all()
+
+    def test_tokens_encoded(self, dataset):
+        table = ReviewTextTable.build(dataset, max_len=12)
+        # First review's first token id decodes back to its first token.
+        first_token = dataset.tokens[0][0]
+        decoded = table.vocab.id_to_token(int(table.token_ids[0][0]))
+        assert decoded == first_token
+
+    def test_max_vocab_respected(self, dataset):
+        table = ReviewTextTable.build(dataset, max_len=12, max_vocab=50)
+        assert len(table.vocab) == 52  # 50 + pad + unk
+        assert table.token_ids.max() < 52
+
+
+class TestInputSlots:
+    def test_shapes(self, dataset):
+        train, _ = train_test_split(dataset, seed=0)
+        slots = InputSlots.build(train, s_u=3, s_i=5)
+        assert slots.user_slots.shape == (dataset.num_users, 3)
+        assert slots.item_slots.shape == (dataset.num_items, 5)
+        assert slots.s_u == 3 and slots.s_i == 5
+
+    def test_only_train_reviews_used(self, dataset):
+        train, test = train_test_split(dataset, seed=0)
+        slots = InputSlots.build(train, s_u=4, s_i=8)
+        train_set = set(train.index_array.tolist())
+        blank = len(dataset)
+        used = set(slots.user_slots[slots.user_slots >= 0].tolist())
+        used |= set(slots.item_slots[slots.item_slots >= 0].tolist())
+        used.discard(blank)
+        assert used <= train_set, "test reviews leaked into the input slots"
+
+    def test_latest_reviews_kept(self, dataset):
+        train, _ = train_test_split(dataset, seed=0)
+        slots = InputSlots.build(train, s_u=2, s_i=2)
+        # For an item with more than 2 train reviews, the kept ones are
+        # the latest by timestamp.
+        train_set = set(train.index_array.tolist())
+        for item in range(dataset.num_items):
+            in_train = [i for i in dataset.reviews_by_item[item] if i in train_set]
+            if len(in_train) > 2:
+                kept = [s for s in slots.item_slots[item] if s >= 0]
+                assert kept == in_train[-2:]
+                break
+        else:
+            pytest.skip("no item with enough train reviews")
+
+    def test_cold_start_points_to_blank(self, dataset):
+        train, _ = train_test_split(dataset, seed=0, pin_entities=False)
+        slots = InputSlots.build(train, s_u=3, s_i=3)
+        train_users = set(train.user_ids.tolist())
+        cold = [u for u in range(dataset.num_users) if u not in train_users]
+        assert cold, "expected at least one cold-start user"
+        u = cold[0]
+        assert slots.user_slots[u, 0] == len(dataset)
+        assert slots.user_slot_mask[u, 0]
+        assert not slots.user_slot_mask[u, 1:].any()
+
+    def test_counterpart_ids(self, dataset):
+        train, _ = train_test_split(dataset, seed=0)
+        slots = InputSlots.build(train, s_u=3, s_i=3)
+        for user in range(min(20, dataset.num_users)):
+            for pos in range(3):
+                idx = slots.user_slots[user, pos]
+                if 0 <= idx < len(dataset):
+                    assert slots.user_slot_items[user, pos] == dataset.item_ids[idx]
+
+    def test_invalid_sizes(self, dataset):
+        train, _ = train_test_split(dataset, seed=0)
+        with pytest.raises(ValueError):
+            InputSlots.build(train, s_u=0, s_i=3)
+
+    def test_every_row_has_unmasked_slot(self, dataset):
+        train, _ = train_test_split(dataset, seed=0, pin_entities=False)
+        slots = InputSlots.build(train, s_u=3, s_i=3)
+        assert slots.user_slot_mask.any(axis=1).all()
+        assert slots.item_slot_mask.any(axis=1).all()
+
+
+class TestBatching:
+    def test_covers_all_indices(self, dataset):
+        train, _ = train_test_split(dataset, seed=0)
+        seen = []
+        for batch in iter_batches(train, 64, shuffle=False):
+            seen.extend(batch.review_indices.tolist())
+        assert sorted(seen) == sorted(train.index_array.tolist())
+
+    def test_shuffle_changes_order(self, dataset):
+        train, _ = train_test_split(dataset, seed=0)
+        rng = np.random.default_rng(0)
+        first = next(iter_batches(train, 64, shuffle=True, rng=rng))
+        unshuffled = next(iter_batches(train, 64, shuffle=False))
+        assert not np.array_equal(first.review_indices, unshuffled.review_indices)
+
+    def test_columns_aligned(self, dataset):
+        train, _ = train_test_split(dataset, seed=0)
+        batch = next(iter_batches(train, 32, shuffle=False))
+        for pos, idx in enumerate(batch.review_indices[:5]):
+            review = dataset.reviews[int(idx)]
+            assert batch.user_ids[pos] == review.user_id
+            assert batch.ratings[pos] == review.rating
+            assert batch.labels[pos] == review.label
+
+    def test_drop_last(self, dataset):
+        train, _ = train_test_split(dataset, seed=0)
+        batches = list(iter_batches(train, 64, shuffle=False, drop_last=True))
+        assert all(len(b) == 64 for b in batches)
+
+    def test_invalid_batch_size(self, dataset):
+        train, _ = train_test_split(dataset, seed=0)
+        with pytest.raises(ValueError):
+            next(iter_batches(train, 0))

@@ -1,0 +1,149 @@
+"""Tests for the evaluation protocol, reporting, and experiment runners.
+
+Experiment runners are exercised at miniature scale (0.2, one seed, few
+epochs) — the full-scale runs live in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    bench_rrre_config,
+    format_series,
+    format_table,
+    run_ablation_encoder,
+    run_protocol,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table7,
+    run_table8,
+    sparkline,
+    split_for,
+)
+from repro.eval.protocol import AggregateResult, RunResult
+
+
+class TestProtocol:
+    def test_run_protocol_aggregates(self):
+        def evaluator(dataset, train, test, seed):
+            return {"metric": float(len(test))}
+
+        results = run_protocol(
+            "yelpchi", {"toy": evaluator}, seeds=(0, 1), scale=0.2
+        )
+        agg = results["toy"]
+        assert len(agg.runs) == 2
+        assert agg.mean("metric") > 0
+        assert agg.std("metric") >= 0
+
+    def test_missing_metric_raises(self):
+        agg = AggregateResult("d", "m", [RunResult("d", "m", 0, {"a": 1.0})])
+        with pytest.raises(KeyError):
+            agg.mean("b")
+
+    def test_metric_names_union(self):
+        agg = AggregateResult(
+            "d",
+            "m",
+            [
+                RunResult("d", "m", 0, {"a": 1.0}),
+                RunResult("d", "m", 1, {"b": 2.0}),
+            ],
+        )
+        assert agg.metric_names == ["a", "b"]
+
+    def test_split_for(self):
+        dataset, train, test = split_for("musics", seed=0, scale=0.2)
+        assert len(train) + len(test) == len(dataset)
+
+    def test_protocol_seeded_reproducible(self):
+        captured = []
+
+        def evaluator(dataset, train, test, seed):
+            captured.append(float(test.ratings.sum()))
+            return {"x": 0.0}
+
+        run_protocol("yelpchi", {"a": evaluator}, seeds=(3,), scale=0.2)
+        run_protocol("yelpchi", {"a": evaluator}, seeds=(3,), scale=0.2)
+        assert captured[0] == captured[1]
+
+
+class TestReporting:
+    def test_format_table_contains_values(self):
+        text = format_table(
+            "T", ["r1"], ["c1", "c2"], {"r1": {"c1": 1.5, "c2": 2.25}}, precision=2
+        )
+        assert "1.50" in text
+        assert "2.25" in text
+
+    def test_format_table_marks_best(self):
+        text = format_table(
+            "T",
+            ["a", "b"],
+            ["m"],
+            {"a": {"m": 1.0}, "b": {"m": 2.0}},
+            highlight_best="min",
+        )
+        assert "1.000*" in text
+        assert "2.000*" not in text
+
+    def test_format_table_missing_cell(self):
+        text = format_table("T", ["a"], ["m"], {"a": {}})
+        assert "—" in text
+
+    def test_format_series(self):
+        text = format_series("S", "x", [1, 2], {"y": [0.1, 0.2]})
+        assert "0.1000" in text
+        assert "0.2000" in text
+
+    def test_sparkline_length_and_chars(self):
+        line = sparkline([1, 2, 3, 4], width=10)
+        assert line
+        assert set(line) <= set("▁▂▃▄▅▆▇█")
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestExperimentRunners:
+    def test_bench_config_overrides(self):
+        cfg = bench_rrre_config(epochs=3, review_dim=16)
+        assert cfg.epochs == 3
+        assert cfg.review_dim == 16
+
+    def test_table2_small(self):
+        report = run_table2(scale=0.2)
+        assert "yelpchi" in report.rendered
+        assert len(report.data["rows"]) == 5
+
+    def test_table3_miniature(self):
+        report = run_table3(
+            datasets=("yelpchi",), seeds=(0,), scale=0.2, epochs=2
+        )
+        values = report.data["brmse"]["yelpchi"]
+        assert set(values) == {"RRRE", "PMF", "DeepCoNN", "NARRE", "DER", "RRRE-"}
+        assert all(np.isfinite(v) for v in values.values())
+
+    def test_table4_miniature(self):
+        report = run_table4(
+            datasets=("musics",), seeds=(0,), scale=0.2, epochs=2
+        )
+        assert set(report.data["auc"]) == {"ICWSM13", "SpEagle+", "REV2", "RRRE"}
+        for model, vals in report.data["auc"].items():
+            assert 0.0 <= vals["musics"] <= 1.0, model
+
+    def test_table7_miniature(self):
+        report = run_table7(scale=0.2, epochs=2, top_k=2)
+        assert "Table VII" in report.rendered
+
+    def test_table8_miniature(self):
+        report = run_table8(scale=0.2, epochs=2, top_k=3)
+        assert "Table VIII" in report.rendered
+        assert report.data["explanations"]
+
+    def test_ablation_encoder_miniature(self):
+        report = run_ablation_encoder(
+            encoders=("mean",), scale=0.2, seeds=(0,), epochs=2
+        )
+        assert "mean" in report.data["values"]

@@ -1,0 +1,90 @@
+"""Tests for the paper-number tables and shape-comparison machinery."""
+
+import pytest
+
+from repro.eval import (
+    PAPER_TABLE3,
+    PAPER_TABLE4_AP,
+    PAPER_TABLE4_AUC,
+    PAPER_TABLE5,
+    PAPER_TABLE6,
+    compare_table,
+    render_comparison,
+    spearman,
+)
+
+
+class TestPaperConstants:
+    def test_table3_structure(self):
+        assert set(PAPER_TABLE3) == {"yelpchi", "yelpnyc", "yelpzip", "musics", "cds"}
+        for row in PAPER_TABLE3.values():
+            assert set(row) == {"RRRE", "PMF", "DeepCoNN", "NARRE", "DER", "RRRE-"}
+
+    def test_table3_rrre_always_best(self):
+        # The paper's headline claim, encoded in the transcription.
+        for dataset, row in PAPER_TABLE3.items():
+            assert min(row, key=row.get) == "RRRE", dataset
+
+    def test_table4_rrre_best_or_second(self):
+        for dataset in PAPER_TABLE4_AUC["RRRE"]:
+            values = {m: PAPER_TABLE4_AUC[m][dataset] for m in PAPER_TABLE4_AUC}
+            rank = sorted(values.values(), reverse=True).index(values["RRRE"])
+            assert rank <= 1, dataset
+
+    def test_table4_ap_rrre_always_best(self):
+        for dataset in PAPER_TABLE4_AP["RRRE"]:
+            values = {m: PAPER_TABLE4_AP[m][dataset] for m in PAPER_TABLE4_AP}
+            assert max(values, key=values.get) == "RRRE", dataset
+
+    def test_ndcg_tables_monotone_for_rrre(self):
+        for table in (PAPER_TABLE5, PAPER_TABLE6):
+            ks = sorted(table)
+            rrre = [table[k]["RRRE"] for k in ks]
+            assert all(a >= b for a, b in zip(rrre, rrre[1:]))
+
+
+class TestSpearman:
+    def test_identical_order(self):
+        assert spearman([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_reversed_order(self):
+        assert spearman([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman([1, 2], [1, 2, 3])
+
+    def test_constant_sequence_is_zero(self):
+        assert spearman([1.0, 1.0, 1.0], [1, 2, 3]) == 0.0
+
+
+class TestCompareTable:
+    def test_perfect_agreement(self):
+        measured = {"d1": {"A": 1.0, "B": 2.0}, "d2": {"A": 0.5, "B": 0.9}}
+        paper = {"d1": {"A": 1.1, "B": 2.2}, "d2": {"A": 0.4, "B": 0.8}}
+        cmp = compare_table("t", measured, paper, lower_is_better=True)
+        assert cmp.winner_agreement == 1.0
+        assert cmp.mean_rank_correlation == pytest.approx(1.0)
+
+    def test_disagreement_detected(self):
+        measured = {"d1": {"A": 2.0, "B": 1.0}}
+        paper = {"d1": {"A": 1.0, "B": 2.0}}
+        cmp = compare_table("t", measured, paper, lower_is_better=True)
+        assert cmp.winner_agreement == 0.0
+
+    def test_higher_is_better_mode(self):
+        measured = {"d1": {"A": 0.9, "B": 0.7}}
+        paper = {"d1": {"A": 0.95, "B": 0.6}}
+        cmp = compare_table("t", measured, paper, lower_is_better=False)
+        assert cmp.winner_matches["d1"]
+
+    def test_missing_rows_noted(self):
+        cmp = compare_table("t", {}, {"d1": {"A": 1.0, "B": 2.0}}, lower_is_better=True)
+        assert cmp.notes
+
+    def test_render_contains_summary(self):
+        measured = {"d1": {"A": 1.0, "B": 2.0}}
+        paper = {"d1": {"A": 1.0, "B": 2.0}}
+        text = render_comparison(compare_table("t", measured, paper, True))
+        assert "winner agreement" in text
+        assert "rank correlation" in text

@@ -1,0 +1,166 @@
+"""Unit tests for regression and ranking metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    auc,
+    average_precision,
+    biased_rmse,
+    dcg_at_k,
+    mae,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    rmse,
+)
+
+
+class TestRMSE:
+    def test_perfect(self):
+        assert rmse(np.array([1.0, 2.0]), np.array([1.0, 2.0])) == 0.0
+
+    def test_known_value(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros(2), np.zeros(3))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            rmse(np.array([]), np.array([]))
+
+    def test_mae(self):
+        assert mae(np.array([1.0, 5.0]), np.array([2.0, 3.0])) == pytest.approx(1.5)
+
+
+class TestBiasedRMSE:
+    def test_ignores_fake_errors(self):
+        predicted = np.array([3.0, 100.0])
+        actual = np.array([3.0, 1.0])
+        labels = np.array([1, 0])
+        assert biased_rmse(predicted, actual, labels) == 0.0
+
+    def test_equals_rmse_when_all_benign(self):
+        rng = np.random.default_rng(0)
+        predicted, actual = rng.normal(size=10), rng.normal(size=10)
+        assert biased_rmse(predicted, actual, np.ones(10)) == pytest.approx(
+            rmse(predicted, actual)
+        )
+
+    def test_normalized_by_benign_count(self):
+        predicted = np.array([2.0, 0.0, 0.0])
+        actual = np.array([0.0, 0.0, 99.0])
+        labels = np.array([1, 1, 0])
+        assert biased_rmse(predicted, actual, labels) == pytest.approx(np.sqrt(2.0))
+
+    def test_no_benign_raises(self):
+        with pytest.raises(ValueError):
+            biased_rmse(np.zeros(2), np.zeros(2), np.zeros(2))
+
+    def test_label_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            biased_rmse(np.zeros(2), np.zeros(2), np.zeros(3))
+
+
+class TestAUC:
+    def test_perfect_ranking(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([1, 1, 0, 0])
+        assert auc(scores, labels) == 1.0
+
+    def test_inverted_ranking(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([1, 1, 0, 0])
+        assert auc(scores, labels) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(1)
+        scores = rng.random(4000)
+        labels = (rng.random(4000) < 0.3).astype(int)
+        assert auc(scores, labels) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_get_half_credit(self):
+        scores = np.array([0.5, 0.5])
+        labels = np.array([1, 0])
+        assert auc(scores, labels) == pytest.approx(0.5)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            auc(np.array([0.1, 0.2]), np.array([1, 1]))
+
+    def test_non_binary_labels_raise(self):
+        with pytest.raises(ValueError):
+            auc(np.array([0.1, 0.2]), np.array([1, 2]))
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision(np.array([3.0, 2.0, 1.0]), np.array([1, 1, 0])) == 1.0
+
+    def test_known_value(self):
+        # Ranking: [pos, neg, pos] → AP = (1/1 + 2/3) / 2
+        scores = np.array([3.0, 2.0, 1.0])
+        labels = np.array([1, 0, 1])
+        assert average_precision(scores, labels) == pytest.approx((1.0 + 2.0 / 3.0) / 2)
+
+    def test_no_positives_raises(self):
+        with pytest.raises(ValueError):
+            average_precision(np.array([1.0]), np.array([0]))
+
+    def test_ap_at_least_prevalence_for_random(self):
+        rng = np.random.default_rng(2)
+        scores = rng.random(2000)
+        labels = (rng.random(2000) < 0.4).astype(int)
+        assert average_precision(scores, labels) == pytest.approx(0.4, abs=0.05)
+
+
+class TestNDCG:
+    def test_dcg_exponential_gain(self):
+        # labels [1, 0, 1] → 1/log2(2) + 0 + 1/log2(4)
+        assert dcg_at_k([1, 0, 1], 3) == pytest.approx(1.0 + 0.5)
+
+    def test_perfect_ranking_is_one(self):
+        scores = np.array([0.9, 0.8, 0.7, 0.1])
+        labels = np.array([1, 1, 1, 0])
+        assert ndcg_at_k(scores, labels, 3) == 1.0
+
+    def test_fake_in_topk_lowers_score(self):
+        scores = np.array([0.9, 0.8, 0.7, 0.1])
+        labels = np.array([1, 0, 1, 1])
+        assert ndcg_at_k(scores, labels, 3) < 1.0
+
+    def test_k_larger_than_n(self):
+        scores = np.array([0.9, 0.1])
+        labels = np.array([1, 0])
+        value = ndcg_at_k(scores, labels, 10)
+        assert 0.0 < value <= 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k(np.array([1.0]), np.array([1]), 0)
+
+    def test_monotone_in_ranking_quality(self):
+        labels = np.array([1, 1, 0, 0, 1, 0])
+        good = np.array([6.0, 5.0, 2.0, 1.0, 4.0, 3.0])
+        bad = -good
+        assert ndcg_at_k(good, labels, 4) > ndcg_at_k(bad, labels, 4)
+
+
+class TestPrecisionRecallAtK:
+    def test_precision(self):
+        scores = np.array([4.0, 3.0, 2.0, 1.0])
+        labels = np.array([1, 0, 1, 1])
+        assert precision_at_k(scores, labels, 2) == 0.5
+
+    def test_recall(self):
+        scores = np.array([4.0, 3.0, 2.0, 1.0])
+        labels = np.array([1, 0, 1, 1])
+        assert recall_at_k(scores, labels, 2) == pytest.approx(1.0 / 3.0)
+
+    def test_recall_no_positives(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.array([1.0]), np.array([0]), 1)

@@ -1,0 +1,124 @@
+"""Property-based tests (hypothesis) for metric invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics import auc, average_precision, biased_rmse, ndcg_at_k, rmse
+
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def scores_and_labels(min_size=4, max_size=60):
+    """Strategy: aligned (scores, labels) with both classes present."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_size, max_size))
+        scores = draw(
+            arrays(np.float64, n, elements=finite_floats)
+        )
+        # Guarantee at least one positive and one negative.
+        labels = draw(
+            arrays(np.int64, n, elements=st.integers(0, 1)).filter(
+                lambda a: 0 < a.sum() < len(a)
+            )
+        )
+        return scores, labels
+
+    return build()
+
+
+class TestAUCProperties:
+    @given(scores_and_labels())
+    @settings(max_examples=60, deadline=None)
+    def test_bounded(self, data):
+        scores, labels = data
+        assert 0.0 <= auc(scores, labels) <= 1.0
+
+    @given(scores_and_labels())
+    @settings(max_examples=60, deadline=None)
+    def test_negation_flips(self, data):
+        scores, labels = data
+        np.testing.assert_allclose(
+            auc(scores, labels) + auc(-scores, labels), 1.0, atol=1e-9
+        )
+
+    @given(scores_and_labels())
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_transform_invariant(self, data):
+        scores, labels = data
+        # Quantize so distinct scores stay distinct after the affine map
+        # (tiny subnormal differences would collapse to float ties).
+        scores = np.round(scores, 6)
+        transformed = 3.0 * scores + 7.0
+        np.testing.assert_allclose(auc(scores, labels), auc(transformed, labels))
+
+    @given(scores_and_labels())
+    @settings(max_examples=60, deadline=None)
+    def test_constant_scores_give_half(self, data):
+        _, labels = data
+        assert auc(np.zeros(len(labels)), labels) == 0.5
+
+
+class TestAPProperties:
+    @given(scores_and_labels())
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_below_by_zero_above_by_one(self, data):
+        scores, labels = data
+        value = average_precision(scores, labels)
+        assert 0.0 < value <= 1.0
+
+    @given(scores_and_labels())
+    @settings(max_examples=60, deadline=None)
+    def test_perfect_ranking_is_one(self, data):
+        _, labels = data
+        perfect = labels.astype(np.float64)  # positives scored above negatives
+        assert average_precision(perfect, labels) == 1.0
+
+
+class TestNDCGProperties:
+    @given(scores_and_labels(), st.integers(1, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded(self, data, k):
+        scores, labels = data
+        assert 0.0 <= ndcg_at_k(scores, labels, k) <= 1.0
+
+    @given(scores_and_labels(), st.integers(1, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_ideal_ranking_maximal(self, data, k):
+        scores, labels = data
+        ideal = ndcg_at_k(labels.astype(np.float64), labels, k)
+        actual = ndcg_at_k(scores, labels, k)
+        assert actual <= ideal + 1e-12
+
+
+class TestRegressionProperties:
+    @given(
+        arrays(np.float64, st.integers(1, 50), elements=finite_floats),
+        arrays(np.float64, st.integers(1, 50), elements=finite_floats),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rmse_non_negative_and_symmetric(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        assert rmse(a, b) >= 0.0
+        np.testing.assert_allclose(rmse(a, b), rmse(b, a))
+
+    @given(arrays(np.float64, st.integers(1, 50), elements=finite_floats))
+    @settings(max_examples=60, deadline=None)
+    def test_rmse_identity_is_zero(self, a):
+        assert rmse(a, a) == 0.0
+
+    @given(scores_and_labels())
+    @settings(max_examples=60, deadline=None)
+    def test_brmse_le_when_fake_errors_huge(self, data):
+        predicted, labels = data
+        actual = predicted.copy()
+        # Corrupt only the fake entries with a huge error.
+        actual[labels == 0] += 1000.0
+        assert biased_rmse(predicted, actual, labels) == 0.0
+        assert rmse(predicted, actual) > 0.0

@@ -1,0 +1,113 @@
+"""Tests for calibration metrics and bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    auc,
+    bootstrap_metric,
+    brier_score,
+    expected_calibration_error,
+    paired_bootstrap_delta,
+)
+
+
+class TestECE:
+    def test_perfectly_calibrated_coin(self):
+        rng = np.random.default_rng(0)
+        probabilities = np.full(20000, 0.7)
+        labels = (rng.random(20000) < 0.7).astype(int)
+        assert expected_calibration_error(probabilities, labels) < 0.02
+
+    def test_overconfident_model_penalized(self):
+        labels = np.array([1, 0, 1, 0, 1, 0])
+        overconfident = np.array([0.99, 0.99, 0.99, 0.99, 0.99, 0.99])
+        assert expected_calibration_error(overconfident, labels) > 0.4
+
+    def test_perfect_predictions_are_calibrated(self):
+        labels = np.array([1, 0, 1, 0])
+        assert expected_calibration_error(labels.astype(float), labels) == 0.0
+
+    def test_probability_range_validated(self):
+        with pytest.raises(ValueError):
+            expected_calibration_error(np.array([1.5]), np.array([1]))
+
+    def test_bins_validated(self):
+        with pytest.raises(ValueError):
+            expected_calibration_error(np.array([0.5]), np.array([1]), bins=0)
+
+
+class TestBrier:
+    def test_perfect_is_zero(self):
+        labels = np.array([1, 0, 1])
+        assert brier_score(labels.astype(float), labels) == 0.0
+
+    def test_uniform_guess(self):
+        labels = np.array([1, 0])
+        assert brier_score(np.array([0.5, 0.5]), labels) == pytest.approx(0.25)
+
+    def test_worst_case_is_one(self):
+        labels = np.array([1, 0])
+        assert brier_score(np.array([0.0, 1.0]), labels) == 1.0
+
+
+class TestBootstrap:
+    def make_data(self, n=300, seed=0):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(n)
+        labels = (scores + rng.normal(0, 0.4, n) > 0.5).astype(float)
+        return scores, labels
+
+    def test_estimate_inside_interval(self):
+        scores, labels = self.make_data()
+        result = bootstrap_metric(auc, scores, labels, iterations=200)
+        assert result.low <= result.estimate <= result.high
+
+    def test_interval_narrows_with_more_data(self):
+        small = self.make_data(n=80)
+        large = self.make_data(n=2000)
+        r_small = bootstrap_metric(auc, *small, iterations=200)
+        r_large = bootstrap_metric(auc, *large, iterations=200)
+        assert (r_large.high - r_large.low) < (r_small.high - r_small.low)
+
+    def test_deterministic_given_seed(self):
+        scores, labels = self.make_data()
+        a = bootstrap_metric(auc, scores, labels, iterations=100, seed=5)
+        b = bootstrap_metric(auc, scores, labels, iterations=100, seed=5)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_confidence_validation(self):
+        scores, labels = self.make_data()
+        with pytest.raises(ValueError):
+            bootstrap_metric(auc, scores, labels, confidence=1.0)
+        with pytest.raises(ValueError):
+            bootstrap_metric(auc, scores, labels, iterations=5)
+
+    def test_contains_helper(self):
+        scores, labels = self.make_data()
+        result = bootstrap_metric(auc, scores, labels, iterations=100)
+        assert result.contains(result.estimate)
+
+
+class TestPairedDelta:
+    def test_clear_difference_excludes_zero(self):
+        rng = np.random.default_rng(1)
+        labels = (rng.random(400) < 0.5).astype(float)
+        good = labels + rng.normal(0, 0.3, 400)  # informative
+        bad = rng.random(400)  # noise
+        delta = paired_bootstrap_delta(auc, good, bad, labels, iterations=200)
+        assert delta.low > 0.0
+
+    def test_identical_models_include_zero(self):
+        rng = np.random.default_rng(2)
+        labels = (rng.random(300) < 0.5).astype(float)
+        scores = rng.random(300)
+        delta = paired_bootstrap_delta(auc, scores, scores, labels, iterations=100)
+        assert delta.estimate == 0.0
+        assert delta.contains(0.0)
+
+    def test_alignment_validated(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_delta(
+                auc, np.zeros(3), np.zeros(4), np.zeros(3), iterations=50
+            )

@@ -1,0 +1,105 @@
+"""Property-based tests (hypothesis) for autograd invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+moderate = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(max_side=5):
+    shape = st.tuples(st.integers(1, max_side), st.integers(1, max_side))
+    return shape.flatmap(lambda s: arrays(np.float64, s, elements=moderate))
+
+
+class TestLinearity:
+    @given(small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_sum_gradient_is_ones(self, a):
+        x = Tensor(a, requires_grad=True)
+        F.sum(x).backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(a))
+
+    @given(small_arrays(), st.floats(-5, 5, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_scaling_scales_gradient(self, a, c):
+        x = Tensor(a, requires_grad=True)
+        F.sum(x * c).backward()
+        np.testing.assert_allclose(x.grad, np.full_like(a, c))
+
+    @given(small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_gradient_accumulation_additive(self, a):
+        x = Tensor(a, requires_grad=True)
+        F.sum(x).backward()
+        F.sum(x * 2.0).backward()
+        np.testing.assert_allclose(x.grad, np.full_like(a, 3.0))
+
+
+class TestChainRule:
+    @given(small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_tanh_derivative_bound(self, a):
+        x = Tensor(a, requires_grad=True)
+        F.sum(F.tanh(x)).backward()
+        assert (np.abs(x.grad) <= 1.0 + 1e-12).all()
+
+    @given(small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_sigmoid_derivative_bound(self, a):
+        x = Tensor(a, requires_grad=True)
+        F.sum(F.sigmoid(x)).backward()
+        assert (x.grad >= 0).all()
+        assert (x.grad <= 0.25 + 1e-12).all()
+
+    @given(small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_identity_composition(self, a):
+        # reshape ∘ transpose ∘ transpose ∘ reshape = identity gradient.
+        x = Tensor(a, requires_grad=True)
+        y = F.reshape(F.transpose(F.transpose(x)), a.shape)
+        F.sum(y).backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(a))
+
+
+class TestSoftmaxInvariants:
+    @given(small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_rows_sum_to_one(self, a):
+        out = F.softmax(Tensor(a), axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0, atol=1e-9)
+
+    @given(small_arrays(), st.floats(-5, 5, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_shift_invariance(self, a, shift):
+        base = F.softmax(Tensor(a), axis=-1)
+        shifted = F.softmax(Tensor(a + shift), axis=-1)
+        np.testing.assert_allclose(base.data, shifted.data, atol=1e-9)
+
+    @given(small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_gradient_sums_to_zero(self, a):
+        # d/dx Σ softmax(x) = 0 because the output always sums to 1.
+        x = Tensor(a, requires_grad=True)
+        F.sum(F.softmax(x, axis=-1)).backward()
+        np.testing.assert_allclose(x.grad, np.zeros_like(a), atol=1e-9)
+
+
+class TestMatmulAlgebra:
+    @given(small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_matmul_identity(self, a):
+        x = Tensor(a, requires_grad=True)
+        eye = Tensor(np.eye(a.shape[1]))
+        F.sum(F.matmul(x, eye)).backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(a))
+
+    @given(small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_double_transpose_is_identity_value(self, a):
+        x = Tensor(a)
+        np.testing.assert_array_equal(F.transpose(F.transpose(x)).data, a)

@@ -1,0 +1,112 @@
+"""Tests for optimizers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn.optim import clip_grad_norm
+
+
+def quadratic_param(start=5.0):
+    return nn.Parameter(np.array([start]))
+
+
+def converges(optimizer_factory, steps=200, tol=1e-2):
+    """Minimize f(x) = (x - 2)^2 and report the final distance to optimum."""
+    p = quadratic_param()
+    opt = optimizer_factory([p])
+    for _ in range(steps):
+        opt.zero_grad()
+        loss = (p - 2.0) * (p - 2.0)
+        loss.sum().backward()
+        opt.step()
+    return abs(float(p.data[0]) - 2.0) < tol
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        assert converges(lambda ps: nn.SGD(ps, lr=0.1))
+
+    def test_momentum_converges(self):
+        assert converges(lambda ps: nn.SGD(ps, lr=0.05, momentum=0.9))
+
+    def test_single_step_matches_formula(self):
+        p = nn.Parameter(np.array([1.0]))
+        opt = nn.SGD([p], lr=0.5)
+        p.grad = np.array([2.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(0.0)
+
+    def test_weight_decay_shrinks_parameter(self):
+        p = nn.Parameter(np.array([10.0]))
+        opt = nn.SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(9.0)
+
+    def test_none_grad_skipped(self):
+        p = nn.Parameter(np.array([1.0]))
+        opt = nn.SGD([p], lr=0.1)
+        opt.step()  # no backward happened; should not crash
+        assert p.data[0] == 1.0
+
+    def test_empty_parameters_raise(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_nonpositive_lr_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([quadratic_param()], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        assert converges(lambda ps: nn.Adam(ps, lr=0.1))
+
+    def test_first_step_size_is_lr(self):
+        # With bias correction, the first Adam step is ≈ lr in magnitude.
+        p = nn.Parameter(np.array([0.0]))
+        opt = nn.Adam([p], lr=0.01)
+        p.grad = np.array([123.0])
+        opt.step()
+        assert abs(p.data[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_state_is_per_parameter(self):
+        a, b = nn.Parameter(np.array([1.0])), nn.Parameter(np.array([1.0]))
+        opt = nn.Adam([a, b], lr=0.1)
+        a.grad = np.array([1.0])
+        b.grad = np.array([-1.0])
+        opt.step()
+        assert a.data[0] < 1.0 < b.data[0]
+
+
+class TestRMSprop:
+    def test_converges_on_quadratic(self):
+        assert converges(lambda ps: nn.RMSprop(ps, lr=0.05))
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = nn.Parameter(np.zeros(3))
+        p.grad = np.array([1.0, 0.0, 0.0])
+        norm = clip_grad_norm([p], max_norm=5.0)
+        assert norm == pytest.approx(1.0)
+        np.testing.assert_allclose(p.grad, [1.0, 0.0, 0.0])
+
+    def test_clips_to_max_norm(self):
+        p = nn.Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_global_norm_across_parameters(self):
+        a, b = nn.Parameter(np.zeros(1)), nn.Parameter(np.zeros(1))
+        a.grad, b.grad = np.array([3.0]), np.array([4.0])
+        clip_grad_norm([a, b], max_norm=1.0)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(1.0)
+
+    def test_handles_missing_grads(self):
+        p = nn.Parameter(np.zeros(2))
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0

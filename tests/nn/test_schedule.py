@@ -1,0 +1,99 @@
+"""Tests for learning-rate schedulers and early stopping."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+
+
+def make_optimizer(lr=0.1):
+    return nn.SGD([nn.Parameter(np.array([1.0]))], lr=lr)
+
+
+class TestStepLR:
+    def test_halves_every_step_size(self):
+        sched = nn.StepLR(make_optimizer(0.1), step_size=2, gamma=0.5)
+        rates = [sched.step() for _ in range(6)]
+        assert rates == pytest.approx([0.1, 0.05, 0.05, 0.025, 0.025, 0.0125])
+
+    def test_mutates_optimizer(self):
+        opt = make_optimizer(0.1)
+        sched = nn.StepLR(opt, step_size=1, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nn.StepLR(make_optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            nn.StepLR(make_optimizer(), step_size=1, gamma=0.0)
+
+
+class TestCosineAnnealing:
+    def test_decays_to_min(self):
+        sched = nn.CosineAnnealingLR(make_optimizer(0.1), total_epochs=10, min_lr=0.01)
+        rates = [sched.step() for _ in range(10)]
+        assert rates[0] < 0.1  # already descending at epoch 1
+        assert rates[-1] == pytest.approx(0.01)
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_clamps_after_horizon(self):
+        sched = nn.CosineAnnealingLR(make_optimizer(0.1), total_epochs=2)
+        for _ in range(5):
+            last = sched.step()
+        assert last == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nn.CosineAnnealingLR(make_optimizer(), total_epochs=0)
+
+
+class TestExponentialLR:
+    def test_geometric_decay(self):
+        sched = nn.ExponentialLR(make_optimizer(1.0), gamma=0.5)
+        assert sched.step() == pytest.approx(0.5)
+        assert sched.step() == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nn.ExponentialLR(make_optimizer(), gamma=1.5)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = nn.EarlyStopping(patience=2, mode="min")
+        assert not stopper.update(1.0)
+        assert not stopper.update(1.1)  # bad 1
+        assert stopper.update(1.2)  # bad 2 → stop
+
+    def test_improvement_resets(self):
+        stopper = nn.EarlyStopping(patience=2, mode="min")
+        stopper.update(1.0)
+        stopper.update(1.1)
+        assert not stopper.update(0.9)  # improvement resets the counter
+        assert not stopper.update(1.0)
+        assert stopper.update(1.0)
+
+    def test_max_mode(self):
+        stopper = nn.EarlyStopping(patience=1, mode="max")
+        stopper.update(0.5)
+        assert stopper.update(0.4)
+
+    def test_min_delta(self):
+        stopper = nn.EarlyStopping(patience=1, min_delta=0.1, mode="min")
+        stopper.update(1.0)
+        # 0.95 is within min_delta → counts as no improvement.
+        assert stopper.update(0.95)
+
+    def test_best_epoch_tracked(self):
+        stopper = nn.EarlyStopping(patience=5, mode="min")
+        for value in (3.0, 2.0, 2.5, 1.5, 1.8):
+            stopper.update(value)
+        assert stopper.best == 1.5
+        assert stopper.best_epoch == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nn.EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            nn.EarlyStopping(mode="avg")

@@ -1,0 +1,44 @@
+"""In-process CLI tests (subprocess-level checks live in test_public_api)."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, build_parser, main, run_one
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.experiment == "table2"
+        assert args.scale == 0.5
+        assert args.seeds == 2
+
+    def test_overrides(self):
+        args = build_parser().parse_args(["fig3", "--scale", "0.2", "--epochs", "3"])
+        assert args.scale == 0.2
+        assert args.epochs == 3
+
+    def test_registry_covers_all_paper_artifacts(self):
+        expected = {f"table{i}" for i in range(2, 9)} | {"fig2", "fig3", "fig4"}
+        assert expected <= set(EXPERIMENTS)
+
+
+class TestExecution:
+    def test_list_returns_zero(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+
+    def test_run_one_table2(self, capsys):
+        run_one("table2", scale=0.2, seeds=1, epochs=1)
+        out = capsys.readouterr().out
+        assert "Table II" in out
+
+    def test_run_one_passes_seeds_to_seeded_experiments(self, capsys):
+        # ablation-encoder accepts seeds; miniature run must not crash.
+        run_one("ablation-encoder", scale=0.2, seeds=1, epochs=1)
+        out = capsys.readouterr().out
+        assert "Ablation" in out
+
+    def test_main_single_experiment(self, capsys):
+        assert main(["table2", "--scale", "0.2"]) == 0
+        assert "Table II" in capsys.readouterr().out

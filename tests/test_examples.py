@@ -1,0 +1,40 @@
+"""Smoke checks for the example scripts (compile + structure).
+
+The examples train real models for tens of seconds each, so the full
+runs live in documentation / manual use; here we verify they parse,
+import only public API, and expose a ``main`` entry point.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    source = path.read_text()
+    compile(source, str(path), "exec")
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_main_guard(path):
+    tree = ast.parse(path.read_text())
+    names = {node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)}
+    assert "main" in names
+    assert 'if __name__ == "__main__":' in path.read_text()
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_only_public_api(path):
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            top = node.module.split(".")[0]
+            assert top in ("repro", "numpy"), f"{path.name} imports {node.module}"
+
+
+def test_there_are_at_least_three_examples():
+    assert len(EXAMPLES) >= 3

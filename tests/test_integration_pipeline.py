@@ -1,0 +1,115 @@
+"""End-to-end integration: the full product journey in one scenario.
+
+Simulate a platform → persist it → reload → split → train RRRE →
+persist the model → reload it → recommend → explain → inspect the
+attention → compare against a baseline.  Every step consumes the public
+API only, the way a downstream user would.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PMF
+from repro.core import (
+    RRRETrainer,
+    explain_item,
+    fast_config,
+    item_profile_attention,
+    recommend_items,
+)
+from repro.data import (
+    PlatformConfig,
+    generate_platform,
+    load_dataset_jsonl,
+    save_dataset_jsonl,
+    train_test_split,
+)
+from repro.metrics import auc, biased_rmse
+
+
+@pytest.fixture(scope="module")
+def journey(tmp_path_factory):
+    root = tmp_path_factory.mktemp("journey")
+
+    # 1. Simulate and persist a platform.
+    config = PlatformConfig(
+        name="integration",
+        num_items=14,
+        num_benign_users=260,
+        num_reviews=800,
+        fake_fraction=0.18,
+        campaign_size_mean=15.0,
+        seed=21,
+    )
+    generated = generate_platform(config)
+    data_path = root / "platform.jsonl"
+    save_dataset_jsonl(generated, data_path)
+
+    # 2. Reload and split.
+    dataset = load_dataset_jsonl(data_path)
+    train, test = train_test_split(dataset, seed=21)
+
+    # 3. Train and persist the model.
+    trainer = RRRETrainer(fast_config(epochs=5, seed=21))
+    trainer.fit(dataset, train)
+    model_path = root / "model.npz"
+    trainer.save(model_path)
+
+    # 4. Reload into a fresh trainer.
+    restored = RRRETrainer(fast_config(epochs=5, seed=21))
+    restored.load(model_path, dataset, train)
+    return dataset, train, test, trainer, restored
+
+
+class TestJourney:
+    def test_roundtrip_preserved_data(self, journey):
+        dataset, train, test, _, _ = journey
+        assert len(train) + len(test) == len(dataset)
+        assert dataset.name == "integration"
+
+    def test_restored_model_equals_original(self, journey):
+        _, _, test, trainer, restored = journey
+        a_ratings, a_rel = trainer.predict_subset(test)
+        b_ratings, b_rel = restored.predict_subset(test)
+        np.testing.assert_allclose(a_ratings, b_ratings)
+        np.testing.assert_allclose(a_rel, b_rel)
+
+    def test_model_learned_something(self, journey):
+        _, _, test, trainer, _ = journey
+        metrics = trainer.evaluate(test)
+        assert metrics["auc"] > 0.6
+        assert metrics["brmse"] < 2.0
+
+    def test_recommendation_pipeline(self, journey):
+        dataset, _, _, _, restored = journey
+        user = int(np.argmax(dataset.user_degrees()))
+        recs = recommend_items(restored, user, top_k=4, exclude_seen=False)
+        assert recs
+        top = recs[0]
+        explanations = explain_item(restored, top.item_id, top_k=4, min_reliability=0.0)
+        assert explanations
+        # Every explanation is a real review of the recommended item.
+        for exp in explanations:
+            assert dataset.reviews[exp.review_index].item_id == top.item_id
+
+    def test_attention_is_inspectable(self, journey):
+        dataset, _, _, _, restored = journey
+        item = int(np.argmax(dataset.item_degrees()))
+        attended = item_profile_attention(restored, item)
+        assert attended
+        assert sum(a.weight for a in attended) == pytest.approx(1.0, abs=1e-9)
+
+    def test_rrre_competitive_with_pmf(self, journey):
+        dataset, train, test, trainer, _ = journey
+        pmf = PMF(epochs=15, seed=21).fit(dataset, train)
+        pmf_brmse = biased_rmse(pmf.predict_subset(test), test.ratings, test.labels)
+        rrre_brmse = trainer.evaluate(test)["brmse"]
+        # At integration-test budgets (5 epochs, tiny data) RRRE is far
+        # from converged; this is a smoke bound, not a performance claim
+        # — the benchmarks check the full-budget ordering.
+        assert rrre_brmse < pmf_brmse + 0.75
+
+    def test_reliability_separates_classes(self, journey):
+        dataset, _, test, trainer, _ = journey
+        _, reliabilities = trainer.predict_subset(test)
+        assert auc(reliabilities, test.labels) > 0.6
