@@ -1,6 +1,11 @@
 """Shared configuration for the benchmark suite.
 
-Each benchmark regenerates one table/figure of the paper and prints it.
+Each benchmark regenerates one table/figure of the paper, prints it,
+and — new in the observability layer — writes a machine-readable
+trajectory point to ``benchmarks/out/BENCH_<test>.json`` (schema:
+:func:`repro.obs.write_bench_artifact`).  Future sessions diff those
+artifacts to detect perf and accuracy drift across PRs.
+
 Runs are single-shot (``rounds=1``) because the payload is a full
 train/evaluate cycle, not a micro-kernel.
 
@@ -9,6 +14,8 @@ Environment knobs (defaults keep the full suite under ~25 minutes):
 * ``REPRO_BENCH_SCALE``  — dataset scale multiplier (default 0.5)
 * ``REPRO_BENCH_SEEDS``  — number of seeds per table (default 2)
 * ``REPRO_BENCH_EPOCHS`` — RRRE training epochs (default 12)
+* ``REPRO_BENCH_OUT``    — artifact directory (default benchmarks/out;
+  set to an empty string to disable artifact writing)
 
 For a higher-fidelity reproduction try
 ``REPRO_BENCH_SCALE=1.0 REPRO_BENCH_SEEDS=5 REPRO_BENCH_EPOCHS=20``.
@@ -17,8 +24,15 @@ For a higher-fidelity reproduction try
 from __future__ import annotations
 
 import os
+import time
+from pathlib import Path
 
 import pytest
+
+from repro.obs import write_bench_artifact
+
+#: Default artifact directory, resolved next to this conftest.
+DEFAULT_OUT_DIR = Path(__file__).parent / "out"
 
 
 def bench_scale() -> float:
@@ -33,6 +47,14 @@ def bench_epochs() -> int:
     return int(os.environ.get("REPRO_BENCH_EPOCHS", "12"))
 
 
+def bench_out_dir():
+    """Artifact directory, or ``None`` when disabled via REPRO_BENCH_OUT=""."""
+    raw = os.environ.get("REPRO_BENCH_OUT")
+    if raw is None:
+        return DEFAULT_OUT_DIR
+    return Path(raw) if raw else None
+
+
 @pytest.fixture
 def bench_params():
     """The (scale, seeds, epochs) triple every benchmark uses."""
@@ -44,5 +66,31 @@ def bench_params():
 
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Run ``fn`` exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    If the result looks like an :class:`repro.eval.ExperimentReport`
+    (has ``data``/``rendered``), its numbers are also written to
+    ``benchmarks/out/BENCH_<test>.json`` as a trajectory point.
+    """
+    start = time.perf_counter()
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    seconds = time.perf_counter() - start
+
+    out_dir = bench_out_dir()
+    if out_dir is not None:
+        name = getattr(benchmark, "name", None) or getattr(fn, "__name__", "bench")
+        data = getattr(result, "data", None)
+        rendered = getattr(result, "rendered", "")
+        write_bench_artifact(
+            out_dir,
+            name,
+            data if isinstance(data, dict) else {"result": data},
+            timing={"seconds": seconds},
+            params={
+                "scale": bench_scale(),
+                "seeds": list(bench_seeds()),
+                "epochs": bench_epochs(),
+            },
+            rendered=rendered,
+        )
+    return result

@@ -18,6 +18,9 @@ Subpackages
     bRMSE, RMSE, AUC, Average Precision, NDCG@k.
 ``repro.eval``
     Experiment protocol and one runner per paper table/figure.
+``repro.obs``
+    Observability: per-layer profiling hooks, timers, structured run
+    reports (see ``docs/observability.md``).
 
 Quickstart
 ----------
@@ -31,6 +34,16 @@ Quickstart
 
 __version__ = "1.0.0"
 
-from . import baselines, core, data, eval, metrics, nn, text
+from . import baselines, core, data, eval, metrics, nn, obs, text
 
-__all__ = ["baselines", "core", "data", "eval", "metrics", "nn", "text", "__version__"]
+__all__ = [
+    "baselines",
+    "core",
+    "data",
+    "eval",
+    "metrics",
+    "nn",
+    "obs",
+    "text",
+    "__version__",
+]

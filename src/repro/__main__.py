@@ -1,4 +1,5 @@
-"""Command-line interface: regenerate any paper artifact.
+"""Command-line interface: regenerate any paper artifact, or run one
+profiled training run.
 
 Usage::
 
@@ -6,13 +7,22 @@ Usage::
     python -m repro fig2 --scale 0.5       # Fig. 2 data
     python -m repro all --seeds 3          # everything
     python -m repro list                   # show available experiments
+    python -m repro train --dataset yelpchi --epochs 6 \
+        --profile --report-json out.json   # telemetry: RunReport JSON
+
+``train`` fits RRRE once with full telemetry (per-layer forward/backward
+timings, gradient norms, phase timers — see ``docs/observability.md``)
+and prints the run report; ``--report-json`` writes the same report as
+schema-stable JSON.  For table/figure experiments ``--report-json``
+dumps the regenerated artifact's raw numbers instead.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Dict
+from typing import Dict, Optional
 
 from .eval import (
     run_ablation_attention,
@@ -55,16 +65,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
-        help="which artifact to regenerate",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "train"],
+        help="which artifact to regenerate (or 'train' for one profiled fit)",
     )
     parser.add_argument("--scale", type=float, default=0.5, help="dataset scale")
     parser.add_argument("--seeds", type=int, default=2, help="number of seeds")
     parser.add_argument("--epochs", type=int, default=12, help="RRRE epochs")
+    parser.add_argument(
+        "--dataset",
+        default="yelpchi",
+        help="dataset preset for 'train' (see repro.data.DATASET_NAMES)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-layer forward/backward profile after the run",
+    )
+    parser.add_argument(
+        "--report-json",
+        metavar="PATH",
+        default=None,
+        help="write the run report (or experiment data) as JSON to PATH",
+    )
     return parser
 
 
-def run_one(name: str, scale: float, seeds: int, epochs: int) -> None:
+def run_one(
+    name: str,
+    scale: float,
+    seeds: int,
+    epochs: int,
+    report_json: Optional[str] = None,
+) -> None:
+    """Run one registered experiment; optionally dump its data as JSON."""
     import inspect
 
     runner, accepts_seeds = EXPERIMENTS[name]
@@ -81,6 +114,43 @@ def run_one(name: str, scale: float, seeds: int, epochs: int) -> None:
     report = runner(**kwargs)
     print(report.rendered)
     print()
+    if report_json:
+        from .obs.report import SCHEMA_VERSION, _jsonable
+
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "experiment": name,
+            "params": kwargs,
+            "data": _jsonable(report.data),
+            "rendered": report.rendered,
+        }
+        with open(report_json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {report_json}")
+
+
+def run_train(
+    dataset_name: str,
+    scale: float,
+    epochs: int,
+    profile: bool,
+    report_json: Optional[str],
+) -> None:
+    """One telemetry-enabled RRRE fit; prints (and optionally writes) the report."""
+    from .core import RRRETrainer, fast_config
+    from .data import load_dataset, train_test_split
+    from .obs import Telemetry
+
+    dataset = load_dataset(dataset_name, seed=0, scale=scale)
+    train, test = train_test_split(dataset, seed=0)
+    trainer = RRRETrainer(fast_config(epochs=epochs))
+    trainer.fit(dataset, train, test, telemetry=Telemetry())
+    report = trainer.report
+    print(report.render(top_layers=20 if profile else 8))
+    if report_json:
+        path = report.save(report_json)
+        print(f"\nwrote {path}")
 
 
 def main(argv=None) -> int:
@@ -88,10 +158,17 @@ def main(argv=None) -> int:
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
+        print("train")
+        return 0
+    if args.experiment == "train":
+        run_train(args.dataset, args.scale, args.epochs, args.profile, args.report_json)
         return 0
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.report_json and len(names) > 1:
+        print("--report-json needs a single experiment (not 'all')", file=sys.stderr)
+        return 2
     for name in names:
-        run_one(name, args.scale, args.seeds, args.epochs)
+        run_one(name, args.scale, args.seeds, args.epochs, report_json=args.report_json)
     return 0
 
 

@@ -155,6 +155,23 @@ class RRRE(nn.Module):
             item_attention=attn_i,
         )
 
+    # ------------------------------------------------------------------
+    def component_summary(self) -> dict:
+        """Parameter count per top-level component, largest first.
+
+        Shared submodules (e.g. the word embedding when
+        ``share_word_embeddings=True``) are counted under every component
+        that references them, so the values can sum to more than
+        :meth:`num_parameters`.  Feeds the ``model`` section of
+        :class:`repro.obs.RunReport`.
+        """
+        totals = {
+            attr: sum(p.size for p in value.parameters())
+            for attr, value in vars(self).items()
+            if isinstance(value, nn.Module)
+        }
+        return dict(sorted(totals.items(), key=lambda kv: (-kv[1], kv[0])))
+
 
 def _encode_slots(encoder: nn.Module, slot_matrix: np.ndarray, table: ReviewTextTable) -> Tensor:
     """Encode the reviews referenced by ``slot_matrix`` with deduplication.

@@ -10,12 +10,14 @@ feeds the Fig. 2-4 benchmarks.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from contextlib import nullcontext
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.nn import Adam, clip_grad_norm
+from repro.obs import ModuleProfiler, RunReport, Telemetry, TimerRegistry
 
 from ..data import (
     InputSlots,
@@ -31,6 +33,11 @@ from .losses import joint_loss
 from .model import RRRE
 
 
+def _maybe_timer(registry: Optional[TimerRegistry], name: str):
+    """A registry scope when telemetry is on, else a no-op context."""
+    return registry.timer(name) if registry is not None else nullcontext()
+
+
 @dataclass
 class EpochRecord:
     """One row of training history."""
@@ -41,6 +48,9 @@ class EpochRecord:
     rating_loss: float
     seconds: float
     eval_metrics: Dict[str, float] = field(default_factory=dict)
+    #: Mean pre-clip global gradient norm over the epoch's batches
+    #: (free to record — clip_grad_norm computes it anyway).
+    grad_norm: float = 0.0
 
 
 class RRRETrainer:
@@ -61,6 +71,9 @@ class RRRETrainer:
         self.slots: Optional[InputSlots] = None
         self.dataset: Optional[ReviewDataset] = None
         self.history: List[EpochRecord] = []
+        #: Structured telemetry of the last :meth:`fit` call, populated
+        #: only when ``fit(..., telemetry=...)`` was enabled.
+        self.report: Optional[RunReport] = None
 
     # ------------------------------------------------------------------
     def fit(
@@ -69,18 +82,35 @@ class RRRETrainer:
         train: ReviewSubset,
         test: Optional[ReviewSubset] = None,
         verbose: bool = False,
+        telemetry: Union[None, bool, Telemetry] = None,
     ) -> "RRRETrainer":
-        """Train on ``train``; optionally evaluate on ``test`` per epoch."""
+        """Train on ``train``; optionally evaluate on ``test`` per epoch.
+
+        ``telemetry`` opts into observability (see ``docs/observability.md``):
+        ``True`` or a :class:`repro.obs.Telemetry` instance attaches
+        per-layer profiling hooks, phase timers, and NaN/Inf guards, and
+        populates :attr:`report` with a :class:`repro.obs.RunReport`.
+        The default (``None``/``False``) runs the untouched fast path.
+        """
         cfg = self.config
+        if telemetry is True:
+            telemetry = Telemetry()
+        elif not telemetry:
+            telemetry = None
+        registry = TimerRegistry() if telemetry else None
+        profiler: Optional[ModuleProfiler] = None
+        self.report = None
+
         rng = np.random.default_rng(cfg.seed)
         self.dataset = dataset
-        self.table = ReviewTextTable.build(
-            dataset,
-            max_len=cfg.max_len,
-            min_count=cfg.min_word_count,
-            max_vocab=cfg.max_vocab,
-        )
-        self.slots = InputSlots.build(train, s_u=cfg.s_u, s_i=cfg.s_i)
+        with _maybe_timer(registry, "fit.vocab"):
+            self.table = ReviewTextTable.build(
+                dataset,
+                max_len=cfg.max_len,
+                min_count=cfg.min_word_count,
+                max_vocab=cfg.max_vocab,
+            )
+            self.slots = InputSlots.build(train, s_u=cfg.s_u, s_i=cfg.s_i)
         self._rating_range = (float(train.ratings.min()), float(train.ratings.max()))
 
         self.model = RRRE(
@@ -90,60 +120,131 @@ class RRRETrainer:
             vocab_size=len(self.table.vocab),
         )
         if cfg.pretrain_words:
-            train_tokens = [dataset.tokens[int(i)] for i in train.index_array]
-            vectors = train_skipgram(
-                train_tokens,
-                self.table.vocab,
-                dim=cfg.word_dim,
-                epochs=1,
-                seed=cfg.seed,
-            )
-            self.model.word_embedding.load_pretrained(vectors)
+            with _maybe_timer(registry, "fit.pretrain_words"):
+                train_tokens = [dataset.tokens[int(i)] for i in train.index_array]
+                vectors = train_skipgram(
+                    train_tokens,
+                    self.table.vocab,
+                    dim=cfg.word_dim,
+                    epochs=1,
+                    seed=cfg.seed,
+                )
+                self.model.word_embedding.load_pretrained(vectors)
 
         optimizer = Adam(
             self.model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay
         )
-        self.history = []
-        for epoch in range(1, cfg.epochs + 1):
-            start = time.perf_counter()
-            self.model.train()
-            sums = np.zeros(3)
-            n_batches = 0
-            for batch in iter_batches(train, cfg.batch_size, shuffle=True, rng=rng):
-                optimizer.zero_grad()
-                out = self.model(batch.user_ids, batch.item_ids, self.slots, self.table)
-                parts = joint_loss(
-                    out.rating,
-                    out.reliability_logits,
-                    batch.ratings,
-                    batch.labels,
-                    lambda_weight=cfg.lambda_weight,
-                    biased=cfg.biased_loss,
-                )
-                parts.total.backward()
-                clip_grad_norm(self.model.parameters(), cfg.grad_clip)
-                optimizer.step()
-                sums += (float(parts.total.data), parts.reliability_loss, parts.rating_loss)
-                n_batches += 1
-            seconds = time.perf_counter() - start
-
-            record = EpochRecord(
-                epoch=epoch,
-                train_loss=sums[0] / max(n_batches, 1),
-                reliability_loss=sums[1] / max(n_batches, 1),
-                rating_loss=sums[2] / max(n_batches, 1),
-                seconds=seconds,
+        if telemetry and telemetry.profile_layers:
+            profiler = ModuleProfiler(
+                backward_timing=telemetry.backward_timing,
+                check_finite=telemetry.check_finite,
+                graph_stats=telemetry.graph_stats,
             )
-            if test is not None:
-                record.eval_metrics = self.evaluate(test)
-            self.history.append(record)
-            if verbose:
-                extra = " ".join(f"{k}={v:.4f}" for k, v in record.eval_metrics.items())
-                print(
-                    f"[{dataset.name}] epoch {epoch}/{cfg.epochs} "
-                    f"loss={record.train_loss:.4f} ({seconds:.1f}s) {extra}"
+            profiler.attach(self.model)
+
+        self.history = []
+        try:
+            for epoch in range(1, cfg.epochs + 1):
+                start = time.perf_counter()
+                self.model.train()
+                sums = np.zeros(3)
+                grad_norm_sum = 0.0
+                n_batches = 0
+                with _maybe_timer(registry, "fit.epoch.train"):
+                    for batch in iter_batches(
+                        train, cfg.batch_size, shuffle=True, rng=rng
+                    ):
+                        optimizer.zero_grad()
+                        out = self.model(
+                            batch.user_ids, batch.item_ids, self.slots, self.table
+                        )
+                        parts = joint_loss(
+                            out.rating,
+                            out.reliability_logits,
+                            batch.ratings,
+                            batch.labels,
+                            lambda_weight=cfg.lambda_weight,
+                            biased=cfg.biased_loss,
+                        )
+                        parts.total.backward()
+                        grad_norm_sum += clip_grad_norm(
+                            self.model.parameters(), cfg.grad_clip
+                        )
+                        optimizer.step()
+                        sums += (
+                            float(parts.total.data),
+                            parts.reliability_loss,
+                            parts.rating_loss,
+                        )
+                        n_batches += 1
+                seconds = time.perf_counter() - start
+
+                record = EpochRecord(
+                    epoch=epoch,
+                    train_loss=sums[0] / max(n_batches, 1),
+                    reliability_loss=sums[1] / max(n_batches, 1),
+                    rating_loss=sums[2] / max(n_batches, 1),
+                    seconds=seconds,
+                    grad_norm=grad_norm_sum / max(n_batches, 1),
                 )
+                if test is not None:
+                    with _maybe_timer(registry, "fit.epoch.eval"):
+                        record.eval_metrics = self.evaluate(test)
+                self.history.append(record)
+                if verbose:
+                    extra = " ".join(
+                        f"{k}={v:.4f}" for k, v in record.eval_metrics.items()
+                    )
+                    print(
+                        f"[{dataset.name}] epoch {epoch}/{cfg.epochs} "
+                        f"loss={record.train_loss:.4f} ({seconds:.1f}s) {extra}"
+                    )
+        finally:
+            if profiler is not None:
+                profiler.detach()
+
+        if telemetry:
+            self.report = self._build_report(dataset, train, registry, profiler)
         return self
+
+    # ------------------------------------------------------------------
+    def _build_report(
+        self,
+        dataset: ReviewDataset,
+        train: ReviewSubset,
+        registry: Optional[TimerRegistry],
+        profiler: Optional[ModuleProfiler],
+    ) -> RunReport:
+        """Assemble the :class:`RunReport` of the fit that just finished."""
+        from repro import __version__
+
+        backward: Dict[str, float] = {}
+        if profiler is not None and profiler.graph_stats:
+            backward = {
+                "passes": profiler.backward_passes,
+                "seconds": profiler.backward_seconds,
+                "tape_nodes": profiler.tape_nodes,
+            }
+        return RunReport(
+            config=asdict(self.config),
+            dataset={
+                "name": dataset.name,
+                "users": dataset.num_users,
+                "items": dataset.num_items,
+                "reviews": len(dataset.reviews),
+                "train_reviews": int(len(train.ratings)),
+            },
+            history=[asdict(record) for record in self.history],
+            layers=profiler.layer_profiles() if profiler is not None else [],
+            timers=registry.snapshot() if registry is not None else {},
+            eval_metrics=dict(self.history[-1].eval_metrics) if self.history else {},
+            model={
+                "parameters": self.model.num_parameters(),
+                "components": self.model.component_summary(),
+            },
+            backward=backward,
+            meta={"library": "repro", "version": __version__, "seed": self.config.seed},
+        )
 
     # ------------------------------------------------------------------
     def predict_pairs(

@@ -30,6 +30,12 @@ class Module:
     :meth:`named_parameters`.
     """
 
+    #: Process-global observability hook (see :mod:`repro.obs.hooks`).
+    #: ``None`` keeps ``__call__`` on a zero-overhead fast path; a
+    #: :class:`repro.obs.ModuleProfiler` installs itself here while
+    #: attached and restores ``None`` on detach.
+    _active_profiler = None
+
     def __init__(self) -> None:
         self.training = True
 
@@ -50,6 +56,23 @@ class Module:
                         yield f"{name}.{idx}", element
                     elif isinstance(element, Module):
                         yield from element.named_parameters(prefix=f"{name}.{idx}.")
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` pairs, self first, depth-first.
+
+        The root is reported under ``prefix`` itself (default ``""``);
+        children extend it with their attribute path, mirroring
+        :meth:`named_parameters` naming.
+        """
+        yield prefix, self
+        for attr, value in vars(self).items():
+            name = f"{prefix}.{attr}" if prefix else attr
+            if isinstance(value, Module):
+                yield from value.named_modules(prefix=name)
+            elif isinstance(value, (list, tuple)):
+                for idx, element in enumerate(value):
+                    if isinstance(element, Module):
+                        yield from element.named_modules(prefix=f"{name}.{idx}")
 
     def parameters(self) -> list:
         """Return all parameters as a list."""
@@ -114,6 +137,9 @@ class Module:
 
     # ------------------------------------------------------------------
     def __call__(self, *args, **kwargs):
+        profiler = Module._active_profiler
+        if profiler is not None:
+            return profiler.profiled_call(self, args, kwargs)
         return self.forward(*args, **kwargs)
 
     def forward(self, *args, **kwargs):

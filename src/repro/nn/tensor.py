@@ -22,11 +22,31 @@ Design notes
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+#: Observability hook point: when set, called as ``observer(root, num_nodes,
+#: seconds)`` after every :meth:`Tensor.backward`.  ``None`` (the default)
+#: keeps backward on a fast path with a single global lookup of overhead.
+_backward_observer: Optional[Callable[["Tensor", int, float], None]] = None
+
+
+def set_backward_observer(
+    observer: Optional[Callable[["Tensor", int, float], None]]
+) -> Optional[Callable[["Tensor", int, float], None]]:
+    """Install (or clear, with ``None``) the backward-pass observer.
+
+    Returns the previously installed observer so callers can restore it —
+    :class:`repro.obs.ModuleProfiler` uses this to nest cleanly.
+    """
+    global _backward_observer
+    previous = _backward_observer
+    _backward_observer = observer
+    return previous
 
 
 def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -140,6 +160,9 @@ class Tensor:
                 f"backward seed shape {grad.shape} does not match tensor shape {self.data.shape}"
             )
 
+        observer = _backward_observer
+        start = time.perf_counter() if observer is not None else 0.0
+
         order = _topological_order(self)
         pending: dict[int, np.ndarray] = {id(self): grad}
         for node in order:
@@ -159,6 +182,9 @@ class Tensor:
                     pending[key] = pending[key] + pgrad
                 else:
                     pending[key] = pgrad
+
+        if observer is not None:
+            observer(self, len(order), time.perf_counter() - start)
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut from the graph."""

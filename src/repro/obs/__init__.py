@@ -1,0 +1,44 @@
+"""``repro.obs`` — observability: profiling hooks, timers, run reports.
+
+The reproduction's measurement layer.  Three pieces compose:
+
+* :mod:`repro.obs.timers` — :class:`TimerRegistry`, a thread-safe
+  hierarchical timer/counter registry (context-manager and decorator
+  API, cumulative + EMA statistics);
+* :mod:`repro.obs.hooks` — :class:`ModuleProfiler`, opt-in per-layer
+  forward/backward timing, gradient norms, and NaN/Inf guards for any
+  :class:`repro.nn.Module` tree, plus the :class:`Telemetry` switch
+  consumed by :meth:`repro.core.RRRETrainer.fit`;
+* :mod:`repro.obs.report` — :class:`RunReport`, a schema-versioned JSON
+  document of one training run, and :func:`write_bench_artifact`, the
+  ``benchmarks/out/BENCH_*.json`` trajectory writer.
+
+Everything here is opt-in: with no profiler attached and no registry in
+use, the hook points in ``repro.nn`` reduce to a single ``None`` check.
+See ``docs/observability.md`` for a guided tour.
+"""
+
+from .hooks import (
+    LayerRecord,
+    ModuleProfiler,
+    NumericsError,
+    Telemetry,
+    parameter_grad_norms,
+)
+from .report import SCHEMA_VERSION, RunReport, write_bench_artifact
+from .timers import GLOBAL_REGISTRY, TimerRegistry, TimerStat, get_registry
+
+__all__ = [
+    "GLOBAL_REGISTRY",
+    "LayerRecord",
+    "ModuleProfiler",
+    "NumericsError",
+    "RunReport",
+    "SCHEMA_VERSION",
+    "Telemetry",
+    "TimerRegistry",
+    "TimerStat",
+    "get_registry",
+    "parameter_grad_norms",
+    "write_bench_artifact",
+]

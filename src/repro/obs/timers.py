@@ -1,0 +1,214 @@
+"""Hierarchical wall-clock timers and counters for profiling.
+
+A :class:`TimerRegistry` accumulates named timing scopes into dotted
+paths (``fit.epoch.train``), tracking cumulative, min/max, and
+exponential-moving-average statistics per path.  Scopes nest per thread:
+entering ``registry.timer("train")`` inside ``registry.timer("epoch")``
+records under ``epoch.train``.
+
+Design goals:
+
+* **Low overhead** — entering/leaving a scope is two ``perf_counter``
+  calls, one list append/pop, and one dict update under a lock.
+* **Thread safety** — the nesting stack is thread-local, the statistics
+  table is lock-protected, so parallel evaluators can share a registry.
+* **Zero cost when unused** — nothing in this module is touched unless a
+  registry is explicitly created and used.
+
+Typical use::
+
+    registry = TimerRegistry()
+    with registry.timer("fit"):
+        with registry.timer("epoch"):
+            ...
+    registry.snapshot()["fit.epoch"]["total"]
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+
+class TimerStat:
+    """Running statistics for one timing path (or counter).
+
+    Attributes
+    ----------
+    count:
+        Number of completed observations.
+    total:
+        Cumulative seconds (or counted units).
+    ema:
+        Exponential moving average of individual observations.
+    minimum / maximum:
+        Extremes over all observations.
+    last:
+        The most recent observation.
+    """
+
+    __slots__ = ("count", "total", "ema", "minimum", "maximum", "last")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.ema = 0.0
+        self.minimum = float("inf")
+        self.maximum = 0.0
+        self.last = 0.0
+
+    def update(self, value: float, ema_alpha: float) -> None:
+        """Fold one observation into the running statistics."""
+        self.count += 1
+        self.total += value
+        self.last = value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if self.count == 1:
+            self.ema = value
+        else:
+            self.ema += ema_alpha * (value - self.ema)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean over all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-dict view used by :meth:`TimerRegistry.snapshot`."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "ema": self.ema,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum,
+            "last": self.last,
+        }
+
+
+class _Scope:
+    """Context manager produced by :meth:`TimerRegistry.timer`."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "TimerRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Scope":
+        self._registry._push(self._name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._registry._pop(elapsed)
+
+
+class TimerRegistry:
+    """Thread-safe registry of nested timing scopes and counters.
+
+    Parameters
+    ----------
+    ema_alpha:
+        Smoothing factor of the per-path exponential moving average
+        (higher → more weight on recent observations).
+    """
+
+    def __init__(self, ema_alpha: float = 0.2) -> None:
+        if not 0.0 < ema_alpha <= 1.0:
+            raise ValueError(f"ema_alpha must be in (0, 1], got {ema_alpha}")
+        self.ema_alpha = ema_alpha
+        self._lock = threading.Lock()
+        self._stats: Dict[str, TimerStat] = {}
+        self._local = threading.local()
+
+    # -- nesting -------------------------------------------------------
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, name: str) -> None:
+        if not name or name.startswith(".") or name.endswith("."):
+            raise ValueError(f"invalid timer name {name!r}")
+        stack = self._stack()
+        path = f"{stack[-1]}.{name}" if stack else name
+        stack.append(path)
+
+    def _pop(self, elapsed: float) -> None:
+        path = self._stack().pop()
+        with self._lock:
+            stat = self._stats.get(path)
+            if stat is None:
+                stat = self._stats[path] = TimerStat()
+            stat.update(elapsed, self.ema_alpha)
+
+    # -- public API ----------------------------------------------------
+    def timer(self, name: str) -> _Scope:
+        """Return a context manager timing ``name`` under the current scope."""
+        return _Scope(self, name)
+
+    def timed(self, name: Optional[str] = None) -> Callable:
+        """Decorator form of :meth:`timer` (defaults to the function name)."""
+
+        def decorate(fn: Callable) -> Callable:
+            label = name or fn.__name__
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.timer(label):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Record a counter observation under the current scope."""
+        stack = self._stack()
+        path = f"{stack[-1]}.{name}" if stack else name
+        with self._lock:
+            stat = self._stats.get(path)
+            if stat is None:
+                stat = self._stats[path] = TimerStat()
+            stat.update(value, self.ema_alpha)
+
+    def get(self, path: str) -> TimerStat:
+        """Return the statistics object for an absolute dotted ``path``."""
+        with self._lock:
+            if path not in self._stats:
+                raise KeyError(f"no timer recorded under {path!r}")
+            return self._stats[path]
+
+    def paths(self) -> List[str]:
+        """All recorded dotted paths, sorted."""
+        with self._lock:
+            return sorted(self._stats)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Return ``{path: stats_dict}`` — JSON-serializable, copied."""
+        with self._lock:
+            return {path: stat.to_dict() for path, stat in sorted(self._stats.items())}
+
+    def reset(self) -> None:
+        """Drop all accumulated statistics (nesting stacks are untouched)."""
+        with self._lock:
+            self._stats.clear()
+
+
+#: Process-wide default registry for ad-hoc instrumentation.
+GLOBAL_REGISTRY = TimerRegistry()
+
+
+def get_registry() -> TimerRegistry:
+    """Return the process-wide default :class:`TimerRegistry`."""
+    return GLOBAL_REGISTRY

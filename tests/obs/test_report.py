@@ -1,0 +1,148 @@
+"""RunReport serialization round-trips and bench-artifact writing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import SCHEMA_VERSION, RunReport, write_bench_artifact
+
+
+@pytest.fixture
+def report():
+    return RunReport(
+        config={"epochs": 2, "lr": 0.004, "encoder": "bilstm"},
+        dataset={"name": "yelpchi", "users": 10, "items": 4, "reviews": 50},
+        history=[
+            {
+                "epoch": 1,
+                "train_loss": 5.0,
+                "reliability_loss": 0.6,
+                "rating_loss": 8.0,
+                "seconds": 0.5,
+                "grad_norm": 2.5,
+                "eval_metrics": {"brmse": 1.2},
+            },
+            {
+                "epoch": 2,
+                "train_loss": 4.0,
+                "reliability_loss": 0.5,
+                "rating_loss": 7.0,
+                "seconds": 0.4,
+                "grad_norm": 2.0,
+                "eval_metrics": {"brmse": 1.1},
+            },
+        ],
+        layers=[
+            {
+                "name": "model.encoder",
+                "calls": 8,
+                "forward_seconds": 0.2,
+                "backward_seconds": 0.1,
+                "backward_calls": 8,
+                "grad_norm_mean": 0.5,
+                "grad_norm_max": 1.0,
+                "parameters": 123,
+            }
+        ],
+        timers={"fit.epoch.train": {"count": 2, "total": 0.9}},
+        eval_metrics={"brmse": 1.1, "auc": 0.8},
+        model={"parameters": 999, "components": {"encoder": 123}},
+        backward={"passes": 8, "seconds": 0.15, "tape_nodes": 100},
+        meta={"seed": 0},
+    )
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_lossless(self, report):
+        clone = RunReport.from_json(report.to_json())
+        assert clone.to_dict() == report.to_dict()
+
+    def test_save_load(self, report, tmp_path):
+        path = report.save(tmp_path / "nested" / "run.json")
+        assert path.exists()
+        loaded = RunReport.load(path)
+        assert loaded.to_dict() == report.to_dict()
+
+    def test_schema_is_stable(self, report):
+        payload = json.loads(report.to_json())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert list(payload) == [
+            "schema_version",
+            "created",
+            "config",
+            "dataset",
+            "model",
+            "history",
+            "layers",
+            "timers",
+            "backward",
+            "eval_metrics",
+            "meta",
+        ]
+
+    def test_from_dict_tolerates_missing_sections(self):
+        report = RunReport.from_dict({"config": {"epochs": 1}})
+        assert report.config == {"epochs": 1}
+        assert report.history == []
+        assert report.schema_version == SCHEMA_VERSION
+
+
+class TestRender:
+    def test_render_mentions_key_sections(self, report):
+        text = report.render()
+        assert "yelpchi" in text
+        assert "model.encoder" in text
+        assert "brmse" in text
+        assert "epoch" in text
+        assert "backward: passes=8" in text
+
+    def test_render_empty_report_does_not_crash(self):
+        text = RunReport().render()
+        assert "Run report" in text
+
+    def test_render_truncates_layers(self, report):
+        report.layers = [
+            dict(report.layers[0], name=f"layer{i}") for i in range(20)
+        ]
+        text = report.render(top_layers=5)
+        assert "15 more layers" in text
+
+
+class TestBenchArtifact:
+    def test_writes_bench_prefixed_json(self, tmp_path):
+        path = write_bench_artifact(
+            tmp_path,
+            "test_table2",
+            {"rows": {"yelpchi": {"reviews": 10}}},
+            timing={"seconds": 1.5},
+            params={"scale": 0.5},
+            rendered="Table II",
+        )
+        assert path.name == "BENCH_test_table2.json"
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["benchmark"] == "test_table2"
+        assert payload["data"]["rows"]["yelpchi"]["reviews"] == 10
+        assert payload["timing"]["seconds"] == 1.5
+        assert payload["rendered"] == "Table II"
+
+    def test_sanitizes_weird_names(self, tmp_path):
+        path = write_bench_artifact(tmp_path, "fig2[scale=0.5/s]", {})
+        assert "/" not in path.name[6:]
+        assert path.exists()
+
+    def test_numpy_values_serialized(self, tmp_path):
+        path = write_bench_artifact(
+            tmp_path,
+            "np",
+            {
+                "arr": np.arange(3),
+                "scalar": np.float64(1.5),
+                "nested": [np.int64(2), {"x": np.ones(2)}],
+            },
+        )
+        payload = json.loads(path.read_text())
+        assert payload["data"]["arr"] == [0, 1, 2]
+        assert payload["data"]["scalar"] == 1.5
+        assert payload["data"]["nested"][1]["x"] == [1.0, 1.0]

@@ -1,0 +1,126 @@
+"""End-to-end telemetry: trainer ``telemetry=`` and the train CLI."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.core import RRRETrainer, fast_config
+from repro.data import load_dataset, train_test_split
+from repro.obs import SCHEMA_VERSION, RunReport, Telemetry
+
+
+@pytest.fixture(scope="module")
+def split():
+    dataset = load_dataset("yelpchi", seed=0, scale=0.2)
+    train, test = train_test_split(dataset, seed=0)
+    return dataset, train, test
+
+
+@pytest.fixture(scope="module")
+def telemetry_trainer(split):
+    dataset, train, test = split
+    trainer = RRRETrainer(fast_config(epochs=2, seed=0))
+    trainer.fit(dataset, train, test, telemetry=True)
+    return trainer
+
+
+class TestTrainerTelemetry:
+    def test_report_populated(self, telemetry_trainer):
+        report = telemetry_trainer.report
+        assert isinstance(report, RunReport)
+        assert len(report.history) == 2
+        assert report.dataset["name"] == "yelpchi"
+        assert report.config["epochs"] == 2
+        assert report.model["parameters"] > 0
+        assert report.model["components"]
+
+    def test_report_has_layer_profiles(self, telemetry_trainer):
+        layers = {l["name"]: l for l in telemetry_trainer.report.layers}
+        assert "model" in layers
+        assert any(name.startswith("model.") for name in layers)
+        assert any(l["forward_seconds"] > 0 for l in layers.values())
+        assert any(l["backward_seconds"] > 0 for l in layers.values())
+
+    def test_report_timers_and_backward(self, telemetry_trainer):
+        report = telemetry_trainer.report
+        assert "fit.vocab" in report.timers
+        assert "fit.epoch.train" in report.timers
+        assert report.timers["fit.epoch.train"]["count"] == 2
+        assert report.backward["passes"] > 0
+        assert report.backward["tape_nodes"] > 0
+
+    def test_report_eval_metrics_and_history_metrics(self, telemetry_trainer):
+        report = telemetry_trainer.report
+        assert "brmse" in report.eval_metrics
+        assert report.history[-1]["eval_metrics"] == report.eval_metrics
+        assert all(r["grad_norm"] > 0 for r in report.history)
+
+    def test_report_round_trips_through_json(self, telemetry_trainer, tmp_path):
+        report = telemetry_trainer.report
+        path = report.save(tmp_path / "run.json")
+        assert RunReport.load(path).to_dict() == report.to_dict()
+
+    def test_custom_telemetry_without_graph_stats(self, split):
+        dataset, train, _ = split
+        trainer = RRRETrainer(fast_config(epochs=1, seed=0))
+        trainer.fit(
+            dataset, train, telemetry=Telemetry(graph_stats=False)
+        )
+        assert trainer.report is not None
+        assert trainer.report.backward == {}
+
+    def test_fit_without_telemetry_keeps_report_none(self, split):
+        import repro.nn as nn
+
+        dataset, train, _ = split
+        trainer = RRRETrainer(fast_config(epochs=1, seed=0))
+        trainer.fit(dataset, train)
+        assert trainer.report is None
+        assert nn.Module._active_profiler is None
+
+    def test_history_unaffected_by_telemetry(self, split):
+        """Telemetry must not change training numerics."""
+        dataset, train, _ = split
+        plain = RRRETrainer(fast_config(epochs=1, seed=0)).fit(dataset, train)
+        hooked = RRRETrainer(fast_config(epochs=1, seed=0)).fit(
+            dataset, train, telemetry=True
+        )
+        assert hooked.history[0].train_loss == pytest.approx(
+            plain.history[0].train_loss
+        )
+
+
+class TestTrainCli:
+    def test_train_writes_report_json(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        code = main(
+            [
+                "train",
+                "--dataset",
+                "yelpchi",
+                "--scale",
+                "0.2",
+                "--epochs",
+                "1",
+                "--profile",
+                "--report-json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "Run report" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["dataset"]["name"] == "yelpchi"
+        assert len(payload["history"]) == 1
+        assert payload["layers"]
+
+    def test_list_mentions_train(self, capsys):
+        assert main(["list"]) == 0
+        assert "train" in capsys.readouterr().out.splitlines()
+
+    def test_report_json_rejected_for_all(self, tmp_path, capsys):
+        code = main(["all", "--report-json", str(tmp_path / "x.json")])
+        assert code == 2

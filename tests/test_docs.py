@@ -1,0 +1,96 @@
+"""Docs lint wired into the suite: every reference in the docs resolves.
+
+Loads ``scripts/check_docs.py`` (not a package) via importlib and runs it
+against the real repository plus synthetic fixtures, so stale docs fail
+CI instead of rotting silently.
+"""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "scripts" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_docs = _load_check_docs()
+
+
+class TestRepoDocs:
+    def test_all_doc_references_resolve(self):
+        problems = check_docs.check_repo(REPO_ROOT)
+        assert problems == [], "\n".join(problems)
+
+    def test_docs_exist_and_are_covered(self):
+        covered = {p.name for p in check_docs.doc_files(REPO_ROOT)}
+        assert "README.md" in covered
+        assert "architecture.md" in covered
+        assert "observability.md" in covered
+        assert "nn_api.md" in covered
+
+
+class TestLinter:
+    def test_detects_missing_dotted_name(self, tmp_path):
+        (tmp_path / "README.md").write_text(
+            "Use `repro.definitely_missing_module.thing` for profit.\n"
+        )
+        problems = check_docs.check_repo(tmp_path)
+        assert len(problems) == 1
+        assert "definitely_missing_module" in problems[0]
+
+    def test_detects_broken_path_and_link(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "guide.md").write_text(
+            "See `src/nothing/here.py` and [gone](missing.md).\n"
+        )
+        problems = check_docs.check_repo(tmp_path)
+        assert len(problems) == 2
+
+    def test_accepts_valid_references(self, tmp_path):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "mod.py").write_text("")
+        (tmp_path / "other.md").write_text("")
+        (tmp_path / "README.md").write_text(
+            "Real things: `repro.obs.RunReport`, `src/mod.py`, "
+            "[other](other.md), and https://example.com plus plain prose.\n"
+        )
+        assert check_docs.check_repo(tmp_path) == []
+
+    def test_code_fences_do_not_scramble_span_pairing(self, tmp_path):
+        """A ``` fence must not hide a bad inline ref after it."""
+        (tmp_path / "README.md").write_text(
+            "```bash\npython -m repro list\n```\n\n"
+            "Bogus: `repro.obs.DefinitelyMissing` ref.\n"
+        )
+        problems = check_docs.check_repo(tmp_path)
+        assert len(problems) == 1
+        assert "DefinitelyMissing" in problems[0]
+
+    def test_dotted_names_inside_fences_are_checked(self, tmp_path):
+        (tmp_path / "README.md").write_text(
+            "```python\nimport repro.obs.not_a_module\n```\n"
+        )
+        problems = check_docs.check_repo(tmp_path)
+        assert len(problems) == 1
+        assert "not_a_module" in problems[0]
+
+    def test_resolve_dotted_walks_attributes(self):
+        ok, _ = check_docs.resolve_dotted("repro.obs.RunReport.to_json")
+        assert ok
+        ok, why = check_docs.resolve_dotted("repro.obs.RunReport.to_yaml")
+        assert not ok
+        assert "to_yaml" in why
+
+    def test_glob_paths_check_directory(self, tmp_path):
+        (tmp_path / "README.md").write_text("Artifacts land in `benchmarks/out/BENCH_*.json`.\n")
+        problems = check_docs.check_repo(tmp_path)
+        assert len(problems) == 1  # benchmarks/out missing here
+        (tmp_path / "benchmarks" / "out").mkdir(parents=True)
+        assert check_docs.check_repo(tmp_path) == []
