@@ -29,7 +29,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.obs import write_bench_artifact
+from repro.obs import MetricsRegistry, use_metrics, write_bench_artifact
 
 #: Default artifact directory, resolved next to this conftest.
 DEFAULT_OUT_DIR = Path(__file__).parent / "out"
@@ -70,10 +70,14 @@ def run_once(benchmark, fn, *args, **kwargs):
 
     If the result looks like an :class:`repro.eval.ExperimentReport`
     (has ``data``/``rendered``), its numbers are also written to
-    ``benchmarks/out/BENCH_<test>.json`` as a trajectory point.
+    ``benchmarks/out/BENCH_<test>.json`` as a trajectory point, along
+    with a snapshot of the metrics registry active during the run
+    (batch/example counters etc. from the instrumented pipeline).
     """
+    registry = MetricsRegistry()
     start = time.perf_counter()
-    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    with use_metrics(registry):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
     seconds = time.perf_counter() - start
 
     out_dir = bench_out_dir()
@@ -92,5 +96,6 @@ def run_once(benchmark, fn, *args, **kwargs):
                 "epochs": bench_epochs(),
             },
             rendered=rendered,
+            metrics=registry.snapshot(),
         )
     return result

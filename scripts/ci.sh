@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 tests, docs lint, and a traced training smoke run.
+#
+# Usage: bash scripts/ci.sh        (from the repository root)
+#
+# Stages:
+#   1. tier-1 test suite   — PYTHONPATH=src python -m pytest -x -q
+#   2. docs lint           — python scripts/check_docs.py
+#   3. traced smoke run    — a ~10s tiny training run with tracing and
+#      metrics enabled, then a one-shot watch render; asserts the event
+#      stream, the Prometheus dump, and the v2 report all materialize.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH=src
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== docs lint =="
+python scripts/check_docs.py
+
+echo "== traced training smoke run =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+python -m repro train --dataset yelpchi --scale 0.15 --epochs 2 \
+    --events "$SMOKE_DIR/run.jsonl" --report-json "$SMOKE_DIR/report.json" \
+    > "$SMOKE_DIR/train.log"
+python -m repro watch "$SMOKE_DIR/run.jsonl"
+python - "$SMOKE_DIR" <<'PY'
+import json, sys
+from pathlib import Path
+
+smoke = Path(sys.argv[1])
+sys.path.insert(0, "src")
+from repro.obs import read_events, validate_report
+
+events = read_events(smoke / "run.jsonl")
+kinds = {e["kind"] for e in events if e["event"] == "span_begin"}
+missing = {"data", "epoch", "eval", "rank"} - kinds
+assert not missing, f"span kinds missing from event stream: {missing}"
+
+report = json.loads((smoke / "report.json").read_text())
+problems = validate_report(report)
+assert not problems, f"report failed validation: {problems}"
+assert report["schema_version"] >= 2 and report["health"]["monitors"]
+
+prom = (smoke / "run.jsonl.prom").read_text()
+assert "# TYPE repro_epoch_seconds histogram" in prom
+
+print("smoke run OK:", len(events), "events,", len(kinds), "span kinds")
+PY
+
+echo "== CI green =="

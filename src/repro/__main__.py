@@ -9,12 +9,19 @@ Usage::
     python -m repro list                   # show available experiments
     python -m repro train --dataset yelpchi --epochs 6 \
         --profile --report-json out.json   # telemetry: RunReport JSON
+    python -m repro train --events run.jsonl  # + traced spans & metrics
+    python -m repro watch run.jsonl        # render the event stream
+    python -m repro watch run.jsonl --follow  # live-tail a running fit
 
 ``train`` fits RRRE once with full telemetry (per-layer forward/backward
 timings, gradient norms, phase timers — see ``docs/observability.md``)
 and prints the run report; ``--report-json`` writes the same report as
-schema-stable JSON.  For table/figure experiments ``--report-json``
-dumps the regenerated artifact's raw numbers instead.
+schema-stable JSON.  ``--events`` additionally streams structured trace
+events (spans, epoch records, health alerts) to a JSONL file and dumps
+the metrics registry in Prometheus text format next to it.  ``watch``
+renders such an event file as a live status board.  For table/figure
+experiments ``--report-json`` dumps the regenerated artifact's raw
+numbers instead.
 """
 
 from __future__ import annotations
@@ -65,8 +72,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "train"],
-        help="which artifact to regenerate (or 'train' for one profiled fit)",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "train", "watch"],
+        help="which artifact to regenerate ('train' for one profiled fit, "
+        "'watch' to render a trace event file)",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="event file for 'watch' (JSONL written by train --events)",
     )
     parser.add_argument("--scale", type=float, default=0.5, help="dataset scale")
     parser.add_argument("--seeds", type=int, default=2, help="number of seeds")
@@ -86,6 +100,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write the run report (or experiment data) as JSON to PATH",
+    )
+    parser.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="for 'train': stream trace events (spans, epochs, health) to a JSONL file",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="for 'train': write the metrics registry in Prometheus text format "
+        "(default: <events>.prom when --events is given)",
+    )
+    parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="for 'watch': keep tailing the event file until run_end",
+    )
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="for 'watch --follow': poll interval in seconds",
     )
     return parser
 
@@ -136,18 +174,44 @@ def run_train(
     epochs: int,
     profile: bool,
     report_json: Optional[str],
+    events: Optional[str] = None,
+    metrics_path: Optional[str] = None,
 ) -> None:
-    """One telemetry-enabled RRRE fit; prints (and optionally writes) the report."""
-    from .core import RRRETrainer, fast_config
-    from .data import load_dataset, train_test_split
-    from .obs import Telemetry
+    """One telemetry-enabled RRRE fit; prints (and optionally writes) the report.
 
-    dataset = load_dataset(dataset_name, seed=0, scale=scale)
-    train, test = train_test_split(dataset, seed=0)
-    trainer = RRRETrainer(fast_config(epochs=epochs))
-    trainer.fit(dataset, train, test, telemetry=Telemetry())
+    With ``events`` the whole run — dataset generation, every epoch, the
+    final evaluation, and a sample recommendation — is traced to a JSONL
+    event stream, and the metrics registry is dumped in Prometheus text
+    format (``metrics_path``, default ``<events>.prom``).
+    """
+    import contextlib
+
+    from .core import RRRETrainer, fast_config, recommend_items
+    from .data import load_dataset, train_test_split
+    from .obs import Telemetry, Tracer, use_tracer
+
+    tracer = Tracer(events) if events else None
+    scope = use_tracer(tracer) if tracer else contextlib.nullcontext()
+    try:
+        with scope:
+            dataset = load_dataset(dataset_name, seed=0, scale=scale)
+            train, test = train_test_split(dataset, seed=0)
+            trainer = RRRETrainer(fast_config(epochs=epochs))
+            trainer.fit(dataset, train, test, telemetry=Telemetry())
+            # Exercise the re-ranking path so the trace carries rank spans.
+            recommend_items(trainer, user_id=0, top_k=5)
+    finally:
+        if tracer is not None:
+            tracer.close()
     report = trainer.report
     print(report.render(top_layers=20 if profile else 8))
+    if events and not metrics_path:
+        metrics_path = events + ".prom"
+    if metrics_path and trainer.metrics_registry is not None:
+        trainer.metrics_registry.save_prometheus(metrics_path)
+        print(f"\nwrote {metrics_path}")
+    if events:
+        print(f"wrote {events}")
     if report_json:
         path = report.save(report_json)
         print(f"\nwrote {path}")
@@ -159,10 +223,26 @@ def main(argv=None) -> int:
         for name in sorted(EXPERIMENTS):
             print(name)
         print("train")
+        print("watch")
         return 0
     if args.experiment == "train":
-        run_train(args.dataset, args.scale, args.epochs, args.profile, args.report_json)
+        run_train(
+            args.dataset,
+            args.scale,
+            args.epochs,
+            args.profile,
+            args.report_json,
+            events=args.events,
+            metrics_path=args.metrics,
+        )
         return 0
+    if args.experiment == "watch":
+        if not args.path:
+            print("watch needs an event file: python -m repro watch run.jsonl", file=sys.stderr)
+            return 2
+        from .obs.watch import watch
+
+        return watch(args.path, follow=args.follow, poll=args.poll)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.report_json and len(names) > 1:
         print("--report-json needs a single experiment (not 'all')", file=sys.stderr)

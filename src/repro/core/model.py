@@ -45,6 +45,18 @@ class RRREOutput:
         probs /= probs.sum(axis=1, keepdims=True)
         return probs[:, BENIGN_CLASS]
 
+    def attention_entropy(self, eps: float = 1e-12) -> float:
+        """Mean Shannon entropy (nats) of the user fraud-attention rows.
+
+        Convenience form without slot masking — padded slots carry near-zero
+        weight after the masked softmax, so they contribute ~0 to the sum.
+        Use :func:`repro.obs.health.attention_entropy` for the mask-aware
+        variant with a normalisation bound.
+        """
+        weights = np.clip(self.user_attention.data, eps, None)
+        row_entropy = -(weights * np.log(weights)).sum(axis=1)
+        return float(row_entropy.mean())
+
 
 class RRRE(nn.Module):
     """Reliable Recommendation with Review-level Explanations.

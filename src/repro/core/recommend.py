@@ -19,6 +19,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.obs.trace import traced
+
 from .trainer import RRRETrainer
 
 
@@ -46,6 +48,7 @@ class Explanation:
     actual_label: int
 
 
+@traced("rank.recommend_items", kind="rank")
 def recommend_items(
     trainer: RRRETrainer,
     user_id: int,
@@ -90,6 +93,7 @@ def recommend_items(
     ]
 
 
+@traced("rank.explain_item", kind="rank")
 def explain_item(
     trainer: RRRETrainer,
     item_id: int,

@@ -17,7 +17,19 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.nn import Adam, clip_grad_norm
-from repro.obs import ModuleProfiler, RunReport, Telemetry, TimerRegistry
+from repro.obs import (
+    HealthSuite,
+    MetricsRegistry,
+    ModuleProfiler,
+    RunReport,
+    Telemetry,
+    TimerRegistry,
+    Tracer,
+    TracingTimerRegistry,
+    attention_entropy,
+    use_metrics,
+)
+from repro.obs import trace as _trace
 
 from ..data import (
     InputSlots,
@@ -26,7 +38,14 @@ from ..data import (
     ReviewTextTable,
     iter_batches,
 )
-from ..metrics import auc, average_precision, biased_rmse, ndcg_at_k, rmse
+from ..metrics import (
+    auc,
+    average_precision,
+    biased_rmse,
+    expected_calibration_error,
+    ndcg_at_k,
+    rmse,
+)
 from ..text import train_skipgram
 from .config import RRREConfig
 from .losses import joint_loss
@@ -36,6 +55,11 @@ from .model import RRRE
 def _maybe_timer(registry: Optional[TimerRegistry], name: str):
     """A registry scope when telemetry is on, else a no-op context."""
     return registry.timer(name) if registry is not None else nullcontext()
+
+
+def _maybe_metrics(registry: Optional[MetricsRegistry]):
+    """Activate ``registry`` for the block, or do nothing when disabled."""
+    return use_metrics(registry) if registry is not None else nullcontext()
 
 
 @dataclass
@@ -74,6 +98,11 @@ class RRRETrainer:
         #: Structured telemetry of the last :meth:`fit` call, populated
         #: only when ``fit(..., telemetry=...)`` was enabled.
         self.report: Optional[RunReport] = None
+        #: Metrics collected by the last telemetry-enabled :meth:`fit`
+        #: (``telemetry.metrics``); export with ``to_prometheus()``.
+        self.metrics_registry: Optional[MetricsRegistry] = None
+        #: Health monitors of the last telemetry-enabled :meth:`fit`.
+        self.health: Optional[HealthSuite] = None
 
     # ------------------------------------------------------------------
     def fit(
@@ -88,18 +117,39 @@ class RRRETrainer:
 
         ``telemetry`` opts into observability (see ``docs/observability.md``):
         ``True`` or a :class:`repro.obs.Telemetry` instance attaches
-        per-layer profiling hooks, phase timers, and NaN/Inf guards, and
-        populates :attr:`report` with a :class:`repro.obs.RunReport`.
-        The default (``None``/``False``) runs the untouched fast path.
+        per-layer profiling hooks, phase timers, NaN/Inf guards, metric
+        collection, and health monitors, and populates :attr:`report`
+        with a :class:`repro.obs.RunReport`.  When an ambient tracer is
+        installed (:func:`repro.obs.use_tracer`) or
+        ``telemetry.events_path`` is set, every timed phase also emits
+        trace spans and the run streams ``run_start``/``epoch``/
+        ``health``/``run_end`` events.  The default (``None``/``False``)
+        runs the untouched fast path.
         """
         cfg = self.config
         if telemetry is True:
             telemetry = Telemetry()
         elif not telemetry:
             telemetry = None
-        registry = TimerRegistry() if telemetry else None
+        tracer: Optional[Tracer] = None
+        owned_tracer = False
+        registry: Optional[TimerRegistry] = None
+        if telemetry:
+            tracer = _trace.current_tracer()
+            if tracer is None and telemetry.events_path:
+                tracer = Tracer(telemetry.events_path)
+                owned_tracer = True
+            registry = (
+                TracingTimerRegistry(tracer) if tracer is not None else TimerRegistry()
+            )
+        metrics_registry = (
+            MetricsRegistry() if telemetry and telemetry.metrics else None
+        )
+        health = HealthSuite() if telemetry and telemetry.health else None
         profiler: Optional[ModuleProfiler] = None
         self.report = None
+        self.metrics_registry = metrics_registry
+        self.health = health
 
         rng = np.random.default_rng(cfg.seed)
         self.dataset = dataset
@@ -139,72 +189,170 @@ class RRRETrainer:
                 backward_timing=telemetry.backward_timing,
                 check_finite=telemetry.check_finite,
                 graph_stats=telemetry.graph_stats,
+                activation_stats=telemetry.activation_stats,
             )
             profiler.attach(self.model)
 
+        if tracer is not None:
+            tracer.event(
+                "run_start",
+                dataset=dataset.name,
+                users=dataset.num_users,
+                items=dataset.num_items,
+                reviews=len(dataset.reviews),
+                epochs=cfg.epochs,
+                encoder=cfg.encoder,
+                seed=cfg.seed,
+            )
+        if metrics_registry is not None:
+            epoch_hist = metrics_registry.histogram(
+                "repro_epoch_seconds", "Wall time per training epoch"
+            ).labels()
+            loss_gauge = metrics_registry.gauge(
+                "repro_train_loss", "Mean joint loss of the last epoch"
+            ).labels()
+            grad_gauge = metrics_registry.gauge(
+                "repro_grad_norm", "Mean pre-clip gradient norm of the last epoch"
+            ).labels()
+            epoch_counter = metrics_registry.counter(
+                "repro_epochs_total", "Training epochs completed"
+            ).labels()
+
         self.history = []
         try:
-            for epoch in range(1, cfg.epochs + 1):
-                start = time.perf_counter()
-                self.model.train()
-                sums = np.zeros(3)
-                grad_norm_sum = 0.0
-                n_batches = 0
-                with _maybe_timer(registry, "fit.epoch.train"):
-                    for batch in iter_batches(
-                        train, cfg.batch_size, shuffle=True, rng=rng
-                    ):
-                        optimizer.zero_grad()
-                        out = self.model(
-                            batch.user_ids, batch.item_ids, self.slots, self.table
-                        )
-                        parts = joint_loss(
-                            out.rating,
-                            out.reliability_logits,
-                            batch.ratings,
-                            batch.labels,
-                            lambda_weight=cfg.lambda_weight,
-                            biased=cfg.biased_loss,
-                        )
-                        parts.total.backward()
-                        grad_norm_sum += clip_grad_norm(
-                            self.model.parameters(), cfg.grad_clip
-                        )
-                        optimizer.step()
-                        sums += (
-                            float(parts.total.data),
-                            parts.reliability_loss,
-                            parts.rating_loss,
-                        )
-                        n_batches += 1
-                seconds = time.perf_counter() - start
+            with _maybe_metrics(metrics_registry):
+                for epoch in range(1, cfg.epochs + 1):
+                    start = time.perf_counter()
+                    self.model.train()
+                    sums = np.zeros(3)
+                    grad_norm_sum = 0.0
+                    n_batches = 0
+                    entropy_sum = 0.0
+                    entropy_max_sum = 0.0
+                    with _maybe_timer(registry, "fit.epoch.train"):
+                        for batch in iter_batches(
+                            train, cfg.batch_size, shuffle=True, rng=rng
+                        ):
+                            optimizer.zero_grad()
+                            out = self.model(
+                                batch.user_ids, batch.item_ids, self.slots, self.table
+                            )
+                            parts = joint_loss(
+                                out.rating,
+                                out.reliability_logits,
+                                batch.ratings,
+                                batch.labels,
+                                lambda_weight=cfg.lambda_weight,
+                                biased=cfg.biased_loss,
+                            )
+                            parts.total.backward()
+                            grad_norm_sum += clip_grad_norm(
+                                self.model.parameters(), cfg.grad_clip
+                            )
+                            optimizer.step()
+                            sums += (
+                                float(parts.total.data),
+                                parts.reliability_loss,
+                                parts.rating_loss,
+                            )
+                            n_batches += 1
+                            if health is not None:
+                                stats = attention_entropy(
+                                    out.user_attention.data,
+                                    self.slots.user_slot_mask[batch.user_ids],
+                                )
+                                entropy_sum += stats["entropy"]
+                                entropy_max_sum += stats["max_entropy"]
+                    seconds = time.perf_counter() - start
 
-                record = EpochRecord(
-                    epoch=epoch,
-                    train_loss=sums[0] / max(n_batches, 1),
-                    reliability_loss=sums[1] / max(n_batches, 1),
-                    rating_loss=sums[2] / max(n_batches, 1),
-                    seconds=seconds,
-                    grad_norm=grad_norm_sum / max(n_batches, 1),
-                )
-                if test is not None:
-                    with _maybe_timer(registry, "fit.epoch.eval"):
-                        record.eval_metrics = self.evaluate(test)
-                self.history.append(record)
-                if verbose:
-                    extra = " ".join(
-                        f"{k}={v:.4f}" for k, v in record.eval_metrics.items()
+                    record = EpochRecord(
+                        epoch=epoch,
+                        train_loss=sums[0] / max(n_batches, 1),
+                        reliability_loss=sums[1] / max(n_batches, 1),
+                        rating_loss=sums[2] / max(n_batches, 1),
+                        seconds=seconds,
+                        grad_norm=grad_norm_sum / max(n_batches, 1),
                     )
-                    print(
-                        f"[{dataset.name}] epoch {epoch}/{cfg.epochs} "
-                        f"loss={record.train_loss:.4f} ({seconds:.1f}s) {extra}"
-                    )
+                    ece: Optional[float] = None
+                    if test is not None:
+                        with _maybe_timer(registry, "fit.epoch.eval"):
+                            ratings, reliabilities = self.predict_subset(test)
+                            record.eval_metrics = self._score_predictions(
+                                ratings, reliabilities, test
+                            )
+                            if health is not None:
+                                ece = expected_calibration_error(
+                                    reliabilities, test.labels
+                                )
+                    self.history.append(record)
+
+                    new_alerts = []
+                    if health is not None:
+                        new_alerts.append(
+                            health.gradient.observe(epoch, record.grad_norm)
+                        )
+                        if n_batches:
+                            new_alerts.append(
+                                health.attention.observe(
+                                    epoch,
+                                    entropy_sum / n_batches,
+                                    entropy_max_sum / n_batches,
+                                )
+                            )
+                        if ece is not None:
+                            new_alerts.append(
+                                health.calibration.observe(epoch, ece)
+                            )
+                        if profiler is not None and telemetry.activation_stats:
+                            new_alerts.extend(
+                                health.dead_units.observe_layers(
+                                    epoch, profiler.layer_profiles()
+                                )
+                            )
+                        new_alerts = [a for a in new_alerts if a is not None]
+                    if metrics_registry is not None:
+                        epoch_hist.observe(seconds)
+                        loss_gauge.set(record.train_loss)
+                        grad_gauge.set(record.grad_norm)
+                        epoch_counter.inc()
+                        if ece is not None:
+                            metrics_registry.gauge(
+                                "repro_calibration_ece",
+                                "Reliability-head ECE on the test split",
+                            ).labels().set(ece)
+                    if tracer is not None:
+                        payload = dict(asdict(record))
+                        payload.update(payload.pop("eval_metrics", {}))
+                        if ece is not None:
+                            payload["ece"] = ece
+                        tracer.event("epoch", **payload)
+                        for alert in new_alerts:
+                            tracer.event("health", **alert.to_dict())
+                    if verbose:
+                        extra = " ".join(
+                            f"{k}={v:.4f}" for k, v in record.eval_metrics.items()
+                        )
+                        print(
+                            f"[{dataset.name}] epoch {epoch}/{cfg.epochs} "
+                            f"loss={record.train_loss:.4f} ({seconds:.1f}s) {extra}"
+                        )
         finally:
             if profiler is not None:
                 profiler.detach()
 
         if telemetry:
-            self.report = self._build_report(dataset, train, registry, profiler)
+            self.report = self._build_report(
+                dataset, train, registry, profiler, health, metrics_registry
+            )
+        if tracer is not None:
+            tracer.event(
+                "run_end",
+                epochs=len(self.history),
+                health=health.status if health is not None else "unknown",
+                **(dict(self.history[-1].eval_metrics) if self.history else {}),
+            )
+            if owned_tracer:
+                tracer.close()
         return self
 
     # ------------------------------------------------------------------
@@ -214,6 +362,8 @@ class RRRETrainer:
         train: ReviewSubset,
         registry: Optional[TimerRegistry],
         profiler: Optional[ModuleProfiler],
+        health: Optional[HealthSuite] = None,
+        metrics_registry: Optional[MetricsRegistry] = None,
     ) -> RunReport:
         """Assemble the :class:`RunReport` of the fit that just finished."""
         from repro import __version__
@@ -243,6 +393,8 @@ class RRRETrainer:
                 "components": self.model.component_summary(),
             },
             backward=backward,
+            health=health.report() if health is not None else {},
+            metrics=metrics_registry.snapshot() if metrics_registry is not None else {},
             meta={"library": "repro", "version": __version__, "seed": self.config.seed},
         )
 
@@ -282,6 +434,16 @@ class RRRETrainer:
         for reliability.  AUC/AP are skipped if the subset is single-class.
         """
         ratings, reliabilities = self.predict_subset(subset)
+        return self._score_predictions(ratings, reliabilities, subset, ndcg_ks)
+
+    def _score_predictions(
+        self,
+        ratings: np.ndarray,
+        reliabilities: np.ndarray,
+        subset: ReviewSubset,
+        ndcg_ks: Tuple[int, ...] = (),
+    ) -> Dict[str, float]:
+        """Score already-computed predictions (lets callers reuse them)."""
         metrics: Dict[str, float] = {
             "brmse": biased_rmse(ratings, subset.ratings, subset.labels),
             "rmse": rmse(ratings, subset.ratings),

@@ -7,6 +7,8 @@ from typing import Iterator, Optional
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+
 from .review import ReviewSubset
 
 
@@ -44,10 +46,24 @@ def iter_batches(
             rng = np.random.default_rng()
         rng.shuffle(order)
     parent = subset.parent
+    # Metrics are recorded only into an active registry (None check when
+    # observability is off), so the plain path stays untouched.
+    registry = obs_metrics.active()
+    batch_counter = example_counter = None
+    if registry is not None:
+        batch_counter = registry.counter(
+            "repro_batches_total", "Mini-batches yielded by iter_batches"
+        ).labels()
+        example_counter = registry.counter(
+            "repro_examples_total", "Examples yielded by iter_batches"
+        ).labels()
     for start in range(0, len(order), batch_size):
         chunk = order[start : start + batch_size]
         if drop_last and len(chunk) < batch_size:
             return
+        if batch_counter is not None:
+            batch_counter.inc()
+            example_counter.inc(len(chunk))
         yield Batch(
             review_indices=chunk,
             user_ids=parent.user_ids[chunk],

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.obs.trace import maybe_span
+
 from .review import ReviewDataset
 from .synthetic import PlatformConfig, generate_platform
 
@@ -151,8 +153,9 @@ def preset_config(name: str, seed: int = 0, scale: float = 1.0) -> PlatformConfi
 
 def load_dataset(name: str, seed: int = 0, scale: float = 1.0, return_truth: bool = False):
     """Generate a preset dataset (the simulator analogue of downloading it)."""
-    config = preset_config(name, seed=seed, scale=scale)
-    return generate_platform(config, return_truth=return_truth)
+    with maybe_span("data.load_dataset", kind="data", dataset=name, scale=scale):
+        config = preset_config(name, seed=seed, scale=scale)
+        return generate_platform(config, return_truth=return_truth)
 
 
 def load_all(seed: int = 0, scale: float = 1.0) -> Dict[str, ReviewDataset]:

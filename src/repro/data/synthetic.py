@@ -33,6 +33,8 @@ from typing import List
 
 import numpy as np
 
+from repro.obs.trace import traced
+
 from .corpora import ReviewWriter, domain_for
 from .review import BENIGN, FAKE, Review, ReviewDataset
 
@@ -135,6 +137,7 @@ class PlatformTruth:
     campaign_targets: List[int] = field(default_factory=list)
 
 
+@traced("data.generate_platform", kind="data")
 def generate_platform(config: PlatformConfig, return_truth: bool = False):
     """Simulate a review platform.
 

@@ -12,6 +12,8 @@ from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.trace import maybe_span
+
 from ..data import ReviewDataset, ReviewSubset, load_dataset, train_test_split
 
 
@@ -78,7 +80,10 @@ def run_protocol(
         dataset = load_dataset(dataset_name, seed=seed, scale=scale)
         train, test = train_test_split(dataset, train_fraction=train_fraction, seed=seed)
         for name, evaluator in evaluators.items():
-            metrics = evaluator(dataset, train, test, seed)
+            with maybe_span(
+                "eval.protocol", kind="eval", dataset=dataset_name, model=name, seed=seed
+            ):
+                metrics = evaluator(dataset, train, test, seed)
             results[name].runs.append(
                 RunResult(dataset=dataset_name, model=name, seed=seed, metrics=metrics)
             )

@@ -1,23 +1,52 @@
-"""``repro.obs`` — observability: profiling hooks, timers, run reports.
+"""``repro.obs`` — observability: metrics, tracing, health, reports.
 
-The reproduction's measurement layer.  Three pieces compose:
+The reproduction's measurement layer, in two tiers:
+
+*Passive* (PR 1) — record what happened:
 
 * :mod:`repro.obs.timers` — :class:`TimerRegistry`, a thread-safe
   hierarchical timer/counter registry (context-manager and decorator
   API, cumulative + EMA statistics);
 * :mod:`repro.obs.hooks` — :class:`ModuleProfiler`, opt-in per-layer
-  forward/backward timing, gradient norms, and NaN/Inf guards for any
-  :class:`repro.nn.Module` tree, plus the :class:`Telemetry` switch
-  consumed by :meth:`repro.core.RRRETrainer.fit`;
+  forward/backward timing, gradient norms, activation dead-unit stats,
+  and NaN/Inf guards for any :class:`repro.nn.Module` tree, plus the
+  :class:`Telemetry` switch consumed by
+  :meth:`repro.core.RRRETrainer.fit`;
 * :mod:`repro.obs.report` — :class:`RunReport`, a schema-versioned JSON
-  document of one training run, and :func:`write_bench_artifact`, the
-  ``benchmarks/out/BENCH_*.json`` trajectory writer.
+  document of one training run (v2: ``health`` + ``metrics`` sections),
+  :func:`write_bench_artifact`, the ``benchmarks/out/BENCH_*.json``
+  trajectory writer, and the :func:`validate_report` /
+  :func:`validate_bench_artifact` schema checkers.
 
-Everything here is opt-in: with no profiler attached and no registry in
-use, the hook points in ``repro.nn`` reduce to a single ``None`` check.
-See ``docs/observability.md`` for a guided tour.
+*Active* (PR 2) — export, stream, and alert:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`, typed
+  counter/gauge/histogram families with labels, streaming quantiles,
+  Prometheus text-format and JSONL exporters;
+* :mod:`repro.obs.trace` — :class:`Tracer`, span-based structured
+  tracing with a JSONL event log, layered on the timer registry via
+  :class:`TracingTimerRegistry` so every timed section also emits a
+  span;
+* :mod:`repro.obs.health` — :class:`HealthSuite`, thresholded monitors
+  for gradient drift, dead units, fraud-attention entropy collapse, and
+  reliability-head calibration drift;
+* :mod:`repro.obs.watch` — the live terminal renderer behind
+  ``python -m repro watch``.
+
+Everything here is opt-in: with no profiler attached, no active metrics
+registry, and no ambient tracer, the hook points reduce to a single
+``None`` check.  See ``docs/observability.md`` for a guided tour.
 """
 
+from .health import (
+    AttentionEntropyMonitor,
+    CalibrationDriftMonitor,
+    DeadUnitMonitor,
+    GradientDriftMonitor,
+    HealthAlert,
+    HealthSuite,
+    attention_entropy,
+)
 from .hooks import (
     LayerRecord,
     ModuleProfiler,
@@ -25,20 +54,58 @@ from .hooks import (
     Telemetry,
     parameter_grad_norms,
 )
-from .report import SCHEMA_VERSION, RunReport, write_bench_artifact
+from .metrics import MetricsRegistry, use_metrics
+from .report import (
+    SCHEMA_VERSION,
+    RunReport,
+    validate_bench_artifact,
+    validate_report,
+    write_bench_artifact,
+)
 from .timers import GLOBAL_REGISTRY, TimerRegistry, TimerStat, get_registry
+from .trace import (
+    Span,
+    Tracer,
+    TracingTimerRegistry,
+    current_tracer,
+    emit_event,
+    maybe_span,
+    read_events,
+    traced,
+    use_tracer,
+)
 
 __all__ = [
+    "AttentionEntropyMonitor",
+    "CalibrationDriftMonitor",
+    "DeadUnitMonitor",
     "GLOBAL_REGISTRY",
+    "GradientDriftMonitor",
+    "HealthAlert",
+    "HealthSuite",
     "LayerRecord",
+    "MetricsRegistry",
     "ModuleProfiler",
     "NumericsError",
     "RunReport",
     "SCHEMA_VERSION",
+    "Span",
     "Telemetry",
     "TimerRegistry",
     "TimerStat",
+    "Tracer",
+    "TracingTimerRegistry",
+    "attention_entropy",
+    "current_tracer",
+    "emit_event",
     "get_registry",
+    "maybe_span",
     "parameter_grad_norms",
+    "read_events",
+    "traced",
+    "use_metrics",
+    "use_tracer",
+    "validate_bench_artifact",
+    "validate_report",
     "write_bench_artifact",
 ]

@@ -63,12 +63,31 @@ class Telemetry:
     graph_stats:
         Record tape size and wall time of every ``Tensor.backward`` via
         :func:`repro.nn.tensor.set_backward_observer`.
+    activation_stats:
+        Accumulate per-layer dead-unit and saturation fractions
+        (requires ``profile_layers``); feeds the dead-unit health
+        monitor.
+    metrics:
+        Populate a :class:`repro.obs.MetricsRegistry` (epoch gauges,
+        batch counters, timing histograms) and the report's ``metrics``
+        section.
+    health:
+        Run the :class:`repro.obs.HealthSuite` monitors per epoch and
+        populate the report's ``health`` section.
+    events_path:
+        When set (and no ambient tracer is installed), write the run's
+        span/point events as JSONL to this path — the input of
+        ``python -m repro watch``.
     """
 
     profile_layers: bool = True
     backward_timing: bool = True
     check_finite: bool = True
     graph_stats: bool = True
+    activation_stats: bool = True
+    metrics: bool = True
+    health: bool = True
+    events_path: Optional[str] = None
 
 
 class LayerRecord:
@@ -84,6 +103,9 @@ class LayerRecord:
         "grad_norm_max",
         "grad_norm_count",
         "parameters",
+        "act_elements",
+        "act_zeros",
+        "act_saturated",
     )
 
     def __init__(self, name: str, parameters: int) -> None:
@@ -96,6 +118,9 @@ class LayerRecord:
         self.grad_norm_max = 0.0
         self.grad_norm_count = 0
         self.parameters = parameters
+        self.act_elements = 0
+        self.act_zeros = 0
+        self.act_saturated = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable view (consumed by :class:`repro.obs.RunReport`)."""
@@ -110,6 +135,12 @@ class LayerRecord:
             ),
             "grad_norm_max": self.grad_norm_max,
             "parameters": self.parameters,
+            "dead_fraction": (
+                self.act_zeros / self.act_elements if self.act_elements else 0.0
+            ),
+            "saturation_fraction": (
+                self.act_saturated / self.act_elements if self.act_elements else 0.0
+            ),
         }
 
 
@@ -134,10 +165,20 @@ class ModuleProfiler:
         backward_timing: bool = True,
         check_finite: bool = False,
         graph_stats: bool = False,
+        activation_stats: bool = False,
+        zero_eps: float = 1e-7,
+        saturation_threshold: float = 0.995,
     ) -> None:
         self.backward_timing = backward_timing
         self.check_finite = check_finite
         self.graph_stats = graph_stats
+        #: Accumulate per-layer dead-unit (``|x| <= zero_eps``) and
+        #: saturation (``|x| >= saturation_threshold``) fractions; the
+        #: saturation column is meaningful for bounded activations
+        #: (tanh/sigmoid/attention weights), telemetry-only elsewhere.
+        self.activation_stats = activation_stats
+        self.zero_eps = zero_eps
+        self.saturation_threshold = saturation_threshold
         self.backward_passes = 0
         self.backward_seconds = 0.0
         self.tape_nodes = 0
@@ -222,6 +263,12 @@ class ModuleProfiler:
         record.calls += 1
         if self.check_finite:
             self._check_forward(out, name)
+        if self.activation_stats:
+            for tensor in _iter_tensors(out):
+                data = np.abs(tensor.data)
+                record.act_elements += data.size
+                record.act_zeros += int((data <= self.zero_eps).sum())
+                record.act_saturated += int((data >= self.saturation_threshold).sum())
         if self.backward_timing:
             out = self._wrap_output(out, record, cell)
         return out

@@ -26,7 +26,15 @@ from typing import Any, Dict, List, Optional
 #: Bumped whenever a field is added to :class:`RunReport` or the bench
 #: artifact layout.  Consumers should accept any version >= the one they
 #: were written against (fields are append-only).
-SCHEMA_VERSION = 1
+#:
+#: * v1 — config/dataset/history/layers/timers/eval_metrics/model/
+#:   backward/meta.
+#: * v2 — adds ``health`` (monitor summaries + alerts, see
+#:   :class:`repro.obs.HealthSuite`) and ``metrics``
+#:   (:meth:`repro.obs.MetricsRegistry.snapshot`); bench artifacts gain
+#:   a ``metrics`` section.  v1 documents still load
+#:   (:meth:`RunReport.load` defaults the new sections to empty).
+SCHEMA_VERSION = 2
 
 
 def _utc_now() -> str:
@@ -61,6 +69,13 @@ class RunReport:
     backward:
         Tape statistics (passes, cumulative seconds, total nodes) when
         graph stats were enabled.
+    health:
+        :meth:`repro.obs.HealthSuite.report` output — overall status,
+        per-monitor summaries, and the alert list (schema v2; empty for
+        v1 reports).
+    metrics:
+        :meth:`repro.obs.MetricsRegistry.snapshot` of the run's metric
+        families (schema v2; empty for v1 reports).
     meta:
         Free-form context: dataset seed, CLI argv, library version.
     """
@@ -73,6 +88,8 @@ class RunReport:
     eval_metrics: Dict[str, float] = field(default_factory=dict)
     model: Dict[str, Any] = field(default_factory=dict)
     backward: Dict[str, Any] = field(default_factory=dict)
+    health: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
     meta: Dict[str, Any] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
     created: str = field(default_factory=_utc_now)
@@ -91,6 +108,8 @@ class RunReport:
             "timers": self.timers,
             "backward": self.backward,
             "eval_metrics": self.eval_metrics,
+            "health": self.health,
+            "metrics": self.metrics,
             "meta": self.meta,
         }
 
@@ -107,7 +126,12 @@ class RunReport:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "RunReport":
-        """Rebuild a report from :meth:`to_dict` output."""
+        """Rebuild a report from :meth:`to_dict` output.
+
+        Backward compatible across schema versions: a v1 document (no
+        ``health``/``metrics`` sections) loads with those sections
+        empty, keeping its original ``schema_version``.
+        """
         return cls(
             config=dict(payload.get("config", {})),
             dataset=dict(payload.get("dataset", {})),
@@ -117,6 +141,8 @@ class RunReport:
             eval_metrics=dict(payload.get("eval_metrics", {})),
             model=dict(payload.get("model", {})),
             backward=dict(payload.get("backward", {})),
+            health=dict(payload.get("health", {})),
+            metrics=dict(payload.get("metrics", {})),
             meta=dict(payload.get("meta", {})),
             schema_version=int(payload.get("schema_version", SCHEMA_VERSION)),
             created=str(payload.get("created", "")),
@@ -208,6 +234,9 @@ class RunReport:
                 "final metrics: "
                 + "  ".join(f"{k}={v:.4f}" for k, v in self.eval_metrics.items())
             )
+        if self.health:
+            lines.append("")
+            lines.append(_render_health(self.health))
         return "\n".join(lines)
 
 
@@ -237,6 +266,24 @@ def _render_layer_table(layers: List[Dict[str, Any]], top: int) -> str:
     return "\n".join(lines)
 
 
+def _render_health(health: Dict[str, Any]) -> str:
+    """Health section: overall status, per-monitor one-liners, alerts."""
+    lines = [f"health: {health.get('status', '?')}"]
+    for name, summary in health.get("monitors", {}).items():
+        last = summary.get("last_value")
+        last_text = f"{last:.4f}" if isinstance(last, (int, float)) else "-"
+        lines.append(
+            f"  {name:20s} {summary.get('status', '?'):8s} "
+            f"obs={summary.get('observations', 0):<4} last={last_text}"
+        )
+    for alert in health.get("alerts", []):
+        lines.append(
+            f"  [{alert.get('severity', '?')}] epoch {alert.get('epoch', '?')} "
+            f"{alert.get('monitor', '?')}: {alert.get('message', '')}"
+        )
+    return "\n".join(lines)
+
+
 def _sparkline(values: List[float]) -> str:
     """Local sparkline (kept import-free; mirrors repro.eval.reporting)."""
     blocks = "▁▂▃▄▅▆▇█"
@@ -257,6 +304,7 @@ def write_bench_artifact(
     timing: Optional[Dict[str, float]] = None,
     params: Optional[Dict[str, Any]] = None,
     rendered: str = "",
+    metrics: Optional[Dict[str, Any]] = None,
 ) -> Path:
     """Write one benchmark's results as ``<out_dir>/BENCH_<name>.json``.
 
@@ -279,6 +327,9 @@ def write_bench_artifact(
         The scale/seeds/epochs knobs the run used.
     rendered:
         Optional printable table, stored for eyeballing diffs.
+    metrics:
+        Optional :meth:`repro.obs.MetricsRegistry.snapshot` collected
+        while the benchmark ran (schema v2).
     """
     safe = "".join(c if (c.isalnum() or c in "._-") else "_" for c in name)
     payload = {
@@ -289,6 +340,7 @@ def write_bench_artifact(
         "timing": timing or {},
         "data": _jsonable(data),
         "rendered": rendered,
+        "metrics": _jsonable(metrics or {}),
     }
     target = Path(out_dir) / f"BENCH_{safe}.json"
     target.parent.mkdir(parents=True, exist_ok=True)
@@ -307,3 +359,96 @@ def _jsonable(value: Any) -> Any:
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Schema validation
+# ---------------------------------------------------------------------------
+
+#: ``section name -> required python type`` for a RunReport document.
+_REPORT_SECTIONS = {
+    "config": dict,
+    "dataset": dict,
+    "model": dict,
+    "history": list,
+    "layers": list,
+    "timers": dict,
+    "backward": dict,
+    "eval_metrics": dict,
+    "meta": dict,
+}
+
+#: Sections added in schema v2 (optional for v1 documents).
+_REPORT_V2_SECTIONS = {"health": dict, "metrics": dict}
+
+#: Required keys of a ``BENCH_*.json`` artifact and their types.
+_BENCH_KEYS = {
+    "benchmark": str,
+    "params": dict,
+    "timing": dict,
+    "data": (dict, list),
+    "rendered": str,
+}
+
+
+def _check_version(payload: Dict[str, Any], problems: List[str]) -> int:
+    version = payload.get("schema_version")
+    if not isinstance(version, int) or version < 1:
+        problems.append(f"schema_version must be a positive int, got {version!r}")
+        return 0
+    return version
+
+
+def validate_report(payload: Dict[str, Any]) -> List[str]:
+    """Structural check of a RunReport JSON document.
+
+    Returns a list of problems (empty = valid).  Accepts any schema
+    version >= 1; v2-only sections are required only from v2 on.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"report must be a JSON object, got {type(payload).__name__}"]
+    version = _check_version(payload, problems)
+    required = dict(_REPORT_SECTIONS)
+    if version >= 2:
+        required.update(_REPORT_V2_SECTIONS)
+    for key, expected in required.items():
+        if key not in payload:
+            problems.append(f"missing section {key!r}")
+        elif not isinstance(payload[key], expected):
+            problems.append(
+                f"section {key!r} must be {expected.__name__}, "
+                f"got {type(payload[key]).__name__}"
+            )
+    for i, record in enumerate(payload.get("history", []) or []):
+        if not isinstance(record, dict):
+            problems.append(f"history[{i}] must be an object")
+    return problems
+
+
+def validate_bench_artifact(payload: Dict[str, Any]) -> List[str]:
+    """Structural check of a ``BENCH_*.json`` artifact.
+
+    Returns a list of problems (empty = valid).  The ``metrics`` section
+    is required from schema v2 on, tolerated as absent in v1 artifacts.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"artifact must be a JSON object, got {type(payload).__name__}"]
+    version = _check_version(payload, problems)
+    for key, expected in _BENCH_KEYS.items():
+        if key not in payload:
+            problems.append(f"missing key {key!r}")
+        elif not isinstance(payload[key], expected):
+            expected_name = (
+                expected.__name__
+                if isinstance(expected, type)
+                else "/".join(t.__name__ for t in expected)
+            )
+            problems.append(
+                f"key {key!r} must be {expected_name}, "
+                f"got {type(payload[key]).__name__}"
+            )
+    if version >= 2 and not isinstance(payload.get("metrics"), dict):
+        problems.append("v2 artifact must carry a 'metrics' object")
+    return problems

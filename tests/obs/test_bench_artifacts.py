@@ -1,0 +1,77 @@
+"""Benchmark artifacts under benchmarks/out/ validate against the schema."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    validate_bench_artifact,
+    write_bench_artifact,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+OUT_DIR = REPO_ROOT / "benchmarks" / "out"
+
+_checked_in = sorted(OUT_DIR.glob("BENCH_*.json")) if OUT_DIR.is_dir() else []
+
+
+class TestCheckedInArtifacts:
+    """Whatever landed in benchmarks/out/ (any schema version) stays valid."""
+
+    @pytest.mark.parametrize(
+        "path", _checked_in, ids=[p.name for p in _checked_in]
+    )
+    def test_artifact_validates(self, path):
+        payload = json.loads(path.read_text())
+        assert validate_bench_artifact(payload) == []
+
+    def test_at_least_the_seed_artifact_exists(self):
+        assert any(p.name == "BENCH_test_table2.json" for p in _checked_in)
+
+
+class TestFreshArtifacts:
+    def test_v2_artifact_round_trips_with_metrics(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("repro_batches_total", "Batches").labels().inc(5)
+        path = write_bench_artifact(
+            tmp_path, "smoke", {"rows": {"x": 1}},
+            timing={"seconds": 0.1}, params={"scale": 0.2},
+            rendered="table", metrics=registry.snapshot(),
+        )
+        payload = json.loads(path.read_text())
+        assert validate_bench_artifact(payload) == []
+        assert payload["schema_version"] >= 2
+        sample = payload["metrics"]["repro_batches_total"]["samples"][0]
+        assert sample["value"] == 5.0
+
+    def test_conftest_run_once_snapshots_metrics(self, tmp_path, monkeypatch):
+        """The benchmark harness captures pipeline counters into the artifact."""
+        spec = importlib.util.spec_from_file_location(
+            "bench_conftest", REPO_ROOT / "benchmarks" / "conftest.py"
+        )
+        bench_conftest = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(bench_conftest)
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+
+        class FakeBenchmark:
+            name = "test_fake"
+
+            def pedantic(self, fn, args=(), kwargs=None, rounds=1, iterations=1):
+                return fn(*args, **(kwargs or {}))
+
+        def workload():
+            from repro.obs import metrics as obs_metrics
+
+            registry = obs_metrics.active()
+            assert registry is not None  # run_once must have activated one
+            registry.counter("repro_batches_total", "Batches").labels().inc(3)
+            return {"done": True}
+
+        bench_conftest.run_once(FakeBenchmark(), workload)
+        payload = json.loads((tmp_path / "BENCH_test_fake.json").read_text())
+        assert validate_bench_artifact(payload) == []
+        sample = payload["metrics"]["repro_batches_total"]["samples"][0]
+        assert sample["value"] == 3.0

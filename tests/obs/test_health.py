@@ -1,0 +1,193 @@
+"""Health monitors: thresholds, alert plumbing, suite report shape."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    AttentionEntropyMonitor,
+    CalibrationDriftMonitor,
+    DeadUnitMonitor,
+    GradientDriftMonitor,
+    HealthSuite,
+    attention_entropy,
+)
+
+
+class TestGradientDrift:
+    def test_stable_gradients_stay_ok(self):
+        monitor = GradientDriftMonitor()
+        for epoch in range(1, 8):
+            assert monitor.observe(epoch, 2.0 + 0.1 * (epoch % 2)) is None
+        assert monitor.status == "ok"
+
+    def test_spike_warns_after_warmup(self):
+        monitor = GradientDriftMonitor(ratio=4.0, warmup=2)
+        monitor.observe(1, 1.0)
+        monitor.observe(2, 1.0)
+        alert = monitor.observe(3, 50.0)
+        assert alert is not None and alert.severity == "warn"
+        assert monitor.status == "warn"
+
+    def test_vanishing_gradient_also_warns(self):
+        monitor = GradientDriftMonitor(ratio=4.0, warmup=2)
+        monitor.observe(1, 1.0)
+        monitor.observe(2, 1.0)
+        assert monitor.observe(3, 0.01) is not None
+
+    def test_nonfinite_is_critical(self):
+        monitor = GradientDriftMonitor()
+        alert = monitor.observe(1, float("nan"))
+        assert alert.severity == "critical"
+        assert monitor.status == "critical"
+
+    def test_no_alert_during_warmup(self):
+        monitor = GradientDriftMonitor(warmup=2)
+        assert monitor.observe(1, 1.0) is None
+        assert monitor.observe(2, 100.0) is None
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            GradientDriftMonitor(ratio=0.5)
+
+
+class TestDeadUnits:
+    def _layer(self, name, dead=0.0, saturated=0.0):
+        return {"name": name, "dead_fraction": dead, "saturation_fraction": saturated}
+
+    def test_healthy_layers_no_alerts(self):
+        monitor = DeadUnitMonitor()
+        alerts = monitor.observe_layers(1, [self._layer("a", 0.1), self._layer("b", 0.3)])
+        assert alerts == []
+        assert monitor.status == "ok"
+        assert monitor.worst_layer == "b"
+
+    def test_dead_layer_warns_with_name(self):
+        monitor = DeadUnitMonitor(max_dead=0.9)
+        alerts = monitor.observe_layers(2, [self._layer("model.relu", dead=0.97)])
+        assert len(alerts) == 1
+        assert "model.relu" in alerts[0].message
+        assert alerts[0].epoch == 2
+
+    def test_saturated_layer_warns(self):
+        monitor = DeadUnitMonitor(max_saturated=0.9)
+        alerts = monitor.observe_layers(1, [self._layer("tanh", saturated=0.99)])
+        assert len(alerts) == 1
+        assert "saturated" in alerts[0].message
+
+    def test_missing_fraction_keys_tolerated(self):
+        monitor = DeadUnitMonitor()
+        assert monitor.observe_layers(1, [{"name": "x"}]) == []
+
+
+class TestAttentionEntropy:
+    def test_uniform_attention_is_healthy(self):
+        monitor = AttentionEntropyMonitor(floor=0.15)
+        max_entropy = math.log(5)
+        monitor.observe(1, max_entropy, max_entropy)
+        assert monitor.observe(2, max_entropy, max_entropy) is None
+        assert monitor.status == "ok"
+
+    def test_collapse_warns_after_warmup(self):
+        monitor = AttentionEntropyMonitor(floor=0.15, warmup=1)
+        monitor.observe(1, 0.01, math.log(5))
+        alert = monitor.observe(2, 0.01, math.log(5))
+        assert alert is not None
+        assert "collapsed" in alert.message
+
+    def test_zero_max_entropy_counts_as_healthy(self):
+        monitor = AttentionEntropyMonitor(warmup=0)
+        assert monitor.observe(1, 0.0, 0.0) is None
+
+    def test_bad_floor_rejected(self):
+        with pytest.raises(ValueError):
+            AttentionEntropyMonitor(floor=1.5)
+
+
+class TestCalibrationDrift:
+    def test_improving_ece_stays_ok(self):
+        monitor = CalibrationDriftMonitor()
+        for epoch, ece in enumerate((0.20, 0.15, 0.10, 0.08), start=1):
+            assert monitor.observe(epoch, ece) is None
+        assert monitor.status == "ok"
+
+    def test_drift_from_best_warns(self):
+        monitor = CalibrationDriftMonitor(drift=0.10, max_ece=0.90)
+        monitor.observe(1, 0.05)
+        alert = monitor.observe(2, 0.25)
+        assert alert is not None
+        assert "drifted" in alert.message
+
+    def test_absolute_ceiling_warns(self):
+        monitor = CalibrationDriftMonitor(max_ece=0.30)
+        alert = monitor.observe(1, 0.45)
+        assert alert is not None
+        assert "ceiling" in alert.message
+
+
+class TestSuite:
+    def test_report_shape(self):
+        suite = HealthSuite()
+        suite.gradient.observe(1, 1.0)
+        suite.calibration.observe(1, 0.1)
+        report = suite.report()
+        assert report["status"] == "ok"
+        assert set(report["monitors"]) == {
+            "gradient_drift", "dead_units", "attention_entropy", "calibration_drift",
+        }
+        assert report["alerts"] == []
+        entry = report["monitors"]["gradient_drift"]
+        assert entry["observations"] == 1
+        assert entry["last_value"] == 1.0
+
+    def test_worst_status_wins(self):
+        suite = HealthSuite()
+        suite.calibration.observe(1, 0.9)  # warn
+        assert suite.status == "warn"
+        suite.gradient.observe(1, float("inf"))  # critical
+        assert suite.status == "critical"
+        assert len(suite.alerts) == 2
+
+    def test_alert_dicts_are_json_ready(self):
+        suite = HealthSuite()
+        suite.calibration.observe(1, 0.9)
+        payload = suite.report()["alerts"][0]
+        assert payload["monitor"] == "calibration_drift"
+        assert set(payload) == {
+            "monitor", "severity", "epoch", "message", "value", "threshold",
+        }
+
+    def test_extra_monitors_included(self):
+        suite = HealthSuite()
+        extra = GradientDriftMonitor()
+        extra.name = "custom"
+        suite.extra.append(extra)
+        assert "custom" in suite.report()["monitors"]
+
+
+class TestAttentionEntropyHelper:
+    def test_uniform_weights_hit_max(self):
+        weights = np.full((4, 5), 0.2)
+        stats = attention_entropy(weights)
+        assert stats["entropy"] == pytest.approx(math.log(5))
+        assert stats["max_entropy"] == pytest.approx(math.log(5))
+
+    def test_point_mass_is_zero(self):
+        weights = np.zeros((3, 6))
+        weights[:, 0] = 1.0
+        stats = attention_entropy(weights)
+        assert stats["entropy"] == pytest.approx(0.0, abs=1e-6)
+
+    def test_mask_limits_max_entropy(self):
+        weights = np.full((2, 4), 0.25)
+        mask = np.array([[1, 1, 0, 0], [1, 1, 0, 0]], dtype=bool)
+        stats = attention_entropy(weights, mask)
+        assert stats["max_entropy"] == pytest.approx(math.log(2))
+        assert stats["entropy"] <= stats["max_entropy"] + 1e-9
+
+    def test_shape_errors(self):
+        with pytest.raises(ValueError):
+            attention_entropy(np.ones(5))
+        with pytest.raises(ValueError):
+            attention_entropy(np.ones((2, 3)), np.ones((2, 4)))

@@ -1,0 +1,256 @@
+"""Metrics registry: types, labels, exporters, and quantile estimators."""
+
+import math
+import re
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry, use_metrics
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    P2Quantile,
+    active,
+    set_active,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = MetricsRegistry().counter("c_total").labels()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_inc_rejected(self):
+        counter = MetricsRegistry().counter("c_total").labels()
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g").labels()
+        gauge.set(5.0)
+        gauge.inc(2.0)
+        gauge.dec(3.0)
+        assert gauge.value == 4.0
+
+
+class TestHistogram:
+    def test_buckets_and_sum(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0)).labels()
+        for value in (0.5, 1.5, 1.5, 99.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(102.5)
+        assert hist.bucket_counts == [1, 2, 1]  # <=1, <=2, +Inf
+
+    def test_bucket_quantile_brackets(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0)).labels()
+        for value in (0.5, 1.5, 2.5, 3.5):
+            hist.observe(value)
+        lower, upper = hist.bucket_quantile(0.5)
+        assert lower <= 1.5 <= upper
+
+    def test_empty_histogram_quantiles_are_nan(self):
+        hist = MetricsRegistry().histogram("h").labels()
+        assert math.isnan(hist.quantile(0.5))
+        assert all(math.isnan(v) for v in hist.bucket_quantile(0.5))
+
+    def test_untracked_quantile_raises(self):
+        hist = MetricsRegistry().histogram("h", quantiles=(0.5,)).labels()
+        hist.observe(1.0)
+        with pytest.raises(KeyError):
+            hist.quantile(0.25)
+
+
+class TestP2Quantile:
+    def test_exact_for_small_samples(self):
+        est = P2Quantile(0.5)
+        for value in (3.0, 1.0, 2.0):
+            est.observe(value)
+        assert est.value() == pytest.approx(2.0)
+
+    def test_invalid_q_rejected(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.5)
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_tracks_exact_quantile_on_random_data(self, q, seed):
+        """Property: the P² estimate lands near the exact sample quantile."""
+        rng = np.random.default_rng(seed)
+        data = rng.exponential(scale=1.0, size=4000)
+        est = P2Quantile(q)
+        for value in data:
+            est.observe(value)
+        exact = float(np.quantile(data, q))
+        spread = float(np.quantile(data, min(q + 0.03, 1.0))) - float(
+            np.quantile(data, max(q - 0.03, 0.0))
+        )
+        assert abs(est.value() - exact) <= max(spread, 0.25 * exact + 0.05)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_bucket_quantile_brackets_exact(self, seed):
+        """Property: the exact quantile lies inside the bucket bracket."""
+        rng = np.random.default_rng(seed)
+        data = rng.uniform(0.0, 8.0, size=1000)
+        hist = MetricsRegistry().histogram("h").labels()
+        for value in data:
+            hist.observe(value)
+        for q in (0.1, 0.5, 0.9):
+            lower, upper = hist.bucket_quantile(q)
+            exact = float(np.quantile(data, q))
+            assert lower <= exact <= upper
+
+
+class TestFamilies:
+    def test_idempotent_registration(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", "help")
+        b = registry.counter("x_total")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_label_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labels=("dataset",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", labels=("model",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("0bad")
+        with pytest.raises(ValueError):
+            registry.counter("ok", labels=("bad-label",))
+
+    def test_labels_fan_out_to_distinct_children(self):
+        family = MetricsRegistry().counter("x_total", labels=("dataset",))
+        family.labels(dataset="a").inc()
+        family.labels(dataset="b").inc(2)
+        values = {tuple(l.values())[0]: c.value for l, c in family.samples()}
+        assert values == {"a": 1.0, "b": 2.0}
+
+    def test_wrong_label_names_raise(self):
+        family = MetricsRegistry().counter("x_total", labels=("dataset",))
+        with pytest.raises(ValueError):
+            family.labels(model="rrre")
+        with pytest.raises(ValueError):
+            family.labels()
+
+
+# A permissive-but-real subset of the Prometheus text format: metric line
+# = name, optional {labels}, space, value.
+_PROM_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\[\\\"n])*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\[\\\"n])*\")*\})?"
+    r" (-?[0-9.e+-]+|NaN|[+-]Inf)$"
+)
+
+
+@pytest.fixture
+def populated():
+    registry = MetricsRegistry()
+    registry.counter("repro_batches_total", "Batches seen").labels().inc(7)
+    gauges = registry.gauge("repro_loss", "Loss", labels=("dataset",))
+    gauges.labels(dataset="yelpchi").set(4.5)
+    gauges.labels(dataset='we"ird\\name\n').set(1.0)
+    hist = registry.histogram("repro_epoch_seconds", "Epoch walltime").labels()
+    for value in (0.004, 0.3, 0.3, 7.0, 100.0):
+        hist.observe(value)
+    return registry
+
+
+class TestPrometheusExport:
+    def test_every_line_parses(self, populated):
+        for line in populated.to_prometheus().splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$", line)
+            else:
+                assert _PROM_LINE.match(line), f"bad exposition line: {line!r}"
+
+    def test_help_and_type_headers(self, populated):
+        text = populated.to_prometheus()
+        assert "# HELP repro_batches_total Batches seen" in text
+        assert "# TYPE repro_batches_total counter" in text
+        assert "# TYPE repro_epoch_seconds histogram" in text
+
+    def test_label_escaping(self, populated):
+        text = populated.to_prometheus()
+        assert 'dataset="we\\"ird\\\\name\\n"' in text
+
+    def test_histogram_triplet(self, populated):
+        text = populated.to_prometheus()
+        assert 'repro_epoch_seconds_bucket{le="+Inf"} 5' in text
+        sum_line = next(
+            line for line in text.splitlines()
+            if line.startswith("repro_epoch_seconds_sum")
+        )
+        assert float(sum_line.rsplit(" ", 1)[1]) == pytest.approx(107.604)
+        assert "repro_epoch_seconds_count 5" in text
+
+    def test_buckets_are_cumulative_and_monotone(self, populated):
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in populated.to_prometheus().splitlines()
+            if line.startswith("repro_epoch_seconds_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+        assert len(counts) == len(DEFAULT_BUCKETS) + 1
+
+    def test_save_prometheus(self, populated, tmp_path):
+        path = tmp_path / "deep" / "metrics.prom"
+        populated.save_prometheus(path)
+        assert path.read_text() == populated.to_prometheus()
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_everything(self, populated):
+        clone = MetricsRegistry.from_jsonl(populated.to_jsonl())
+        assert clone.snapshot() == populated.snapshot()
+        assert clone.to_prometheus() == populated.to_prometheus()
+
+    def test_restored_histogram_resumes_estimation(self, populated):
+        clone = MetricsRegistry.from_jsonl(populated.to_jsonl())
+        hist = clone.get("repro_epoch_seconds").labels()
+        frozen = hist.quantile(0.5)
+        assert frozen == pytest.approx(
+            populated.get("repro_epoch_seconds").labels().quantile(0.5)
+        )
+        hist.observe(0.3)  # live estimation resumes without crashing
+        assert hist.count == 6
+
+    def test_empty_registry(self):
+        assert MetricsRegistry().to_jsonl() == ""
+        assert MetricsRegistry.from_jsonl("").snapshot() == {}
+
+
+class TestActiveRegistry:
+    def test_default_off(self):
+        assert active() is None
+
+    def test_use_metrics_scopes_activation(self):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            assert active() is registry
+            inner = MetricsRegistry()
+            with use_metrics(inner):
+                assert active() is inner
+            assert active() is registry
+        assert active() is None
+
+    def test_set_active_returns_previous(self):
+        registry = MetricsRegistry()
+        assert set_active(registry) is None
+        assert set_active(None) is registry

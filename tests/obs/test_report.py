@@ -1,11 +1,20 @@
 """RunReport serialization round-trips and bench-artifact writing."""
 
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro.obs import SCHEMA_VERSION, RunReport, write_bench_artifact
+from repro.obs import (
+    SCHEMA_VERSION,
+    RunReport,
+    validate_bench_artifact,
+    validate_report,
+    write_bench_artifact,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
 
 
 @pytest.fixture
@@ -49,6 +58,35 @@ def report():
         eval_metrics={"brmse": 1.1, "auc": 0.8},
         model={"parameters": 999, "components": {"encoder": 123}},
         backward={"passes": 8, "seconds": 0.15, "tape_nodes": 100},
+        health={
+            "status": "warn",
+            "monitors": {
+                "gradient_drift": {
+                    "status": "ok", "observations": 2, "last_value": 2.0, "alerts": 0,
+                },
+                "calibration_drift": {
+                    "status": "warn", "observations": 2, "last_value": 0.4, "alerts": 1,
+                },
+            },
+            "alerts": [
+                {
+                    "monitor": "calibration_drift",
+                    "severity": "warn",
+                    "epoch": 2,
+                    "message": "ECE above ceiling",
+                    "value": 0.4,
+                    "threshold": 0.3,
+                }
+            ],
+        },
+        metrics={
+            "repro_epochs_total": {
+                "kind": "counter",
+                "help": "Training epochs completed",
+                "labels": [],
+                "samples": [{"labels": {}, "value": 2.0}],
+            }
+        },
         meta={"seed": 0},
     )
 
@@ -78,6 +116,8 @@ class TestRoundTrip:
             "timers",
             "backward",
             "eval_metrics",
+            "health",
+            "metrics",
             "meta",
         ]
 
@@ -85,7 +125,73 @@ class TestRoundTrip:
         report = RunReport.from_dict({"config": {"epochs": 1}})
         assert report.config == {"epochs": 1}
         assert report.history == []
+        assert report.health == {}
+        assert report.metrics == {}
         assert report.schema_version == SCHEMA_VERSION
+
+
+class TestBackwardCompatibility:
+    """A checked-in v1 report (PR-1 era) must keep loading forever."""
+
+    def test_v1_fixture_loads(self):
+        path = FIXTURES / "run_report_v1.json"
+        report = RunReport.load(path)
+        assert report.schema_version == 1
+        assert report.dataset["name"] == "yelpchi"
+        assert len(report.history) == 2
+        assert report.eval_metrics["brmse"] == pytest.approx(1.05)
+        # v2 sections default to empty for v1 documents.
+        assert report.health == {}
+        assert report.metrics == {}
+
+    def test_v1_fixture_validates(self):
+        payload = json.loads((FIXTURES / "run_report_v1.json").read_text())
+        assert validate_report(payload) == []
+
+    def test_v1_fixture_renders(self):
+        report = RunReport.load(FIXTURES / "run_report_v1.json")
+        text = report.render()
+        assert "yelpchi" in text
+        assert "health" not in text  # no fabricated health section
+
+
+class TestValidators:
+    def test_valid_v2_report_passes(self, report):
+        assert validate_report(json.loads(report.to_json())) == []
+
+    def test_v2_report_missing_health_fails(self, report):
+        payload = json.loads(report.to_json())
+        del payload["health"]
+        problems = validate_report(payload)
+        assert any("health" in p for p in problems)
+
+    def test_wrong_section_type_fails(self, report):
+        payload = json.loads(report.to_json())
+        payload["history"] = {"oops": 1}
+        problems = validate_report(payload)
+        assert any("history" in p for p in problems)
+
+    def test_non_object_rejected(self):
+        assert validate_report([1, 2, 3])
+        assert validate_bench_artifact("nope")
+
+    def test_bad_version_reported(self, report):
+        payload = json.loads(report.to_json())
+        payload["schema_version"] = "two"
+        assert any("schema_version" in p for p in validate_report(payload))
+
+    def test_bench_artifact_validators(self, tmp_path):
+        path = write_bench_artifact(
+            tmp_path, "t", {"x": 1}, timing={"seconds": 1.0},
+            params={}, rendered="", metrics={},
+        )
+        payload = json.loads(path.read_text())
+        assert validate_bench_artifact(payload) == []
+        del payload["metrics"]
+        assert any("metrics" in p for p in validate_bench_artifact(payload))
+        payload["schema_version"] = 1
+        payload["metrics"] = {}
+        assert validate_bench_artifact(payload) == []
 
 
 class TestRender:

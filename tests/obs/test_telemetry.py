@@ -7,7 +7,7 @@ import pytest
 from repro.__main__ import main
 from repro.core import RRRETrainer, fast_config
 from repro.data import load_dataset, train_test_split
-from repro.obs import SCHEMA_VERSION, RunReport, Telemetry
+from repro.obs import SCHEMA_VERSION, RunReport, Telemetry, read_events
 
 
 @pytest.fixture(scope="module")
@@ -90,6 +90,43 @@ class TestTrainerTelemetry:
             plain.history[0].train_loss
         )
 
+    def test_report_carries_health_and_metrics(self, telemetry_trainer):
+        report = telemetry_trainer.report
+        assert report.schema_version == SCHEMA_VERSION
+        assert report.health["status"] in ("ok", "warn", "critical")
+        assert set(report.health["monitors"]) >= {
+            "gradient_drift", "dead_units", "attention_entropy", "calibration_drift",
+        }
+        monitors = report.health["monitors"]
+        assert monitors["gradient_drift"]["observations"] == 2
+        assert monitors["calibration_drift"]["observations"] == 2
+        assert monitors["attention_entropy"]["observations"] == 2
+        assert "repro_epochs_total" in report.metrics
+        total = report.metrics["repro_epochs_total"]["samples"][0]["value"]
+        assert total == 2.0
+        assert "repro_batches_total" in report.metrics
+        assert "repro_epoch_seconds" in report.metrics
+
+    def test_metrics_registry_exposed_on_trainer(self, telemetry_trainer):
+        registry = telemetry_trainer.metrics_registry
+        assert registry is not None
+        text = registry.to_prometheus()
+        assert "# TYPE repro_epoch_seconds histogram" in text
+        assert "repro_epochs_total 2" in text
+        assert telemetry_trainer.health is not None
+
+    def test_metrics_and_health_can_be_disabled(self, split):
+        dataset, train, _ = split
+        trainer = RRRETrainer(fast_config(epochs=1, seed=0))
+        trainer.fit(
+            dataset, train,
+            telemetry=Telemetry(metrics=False, health=False),
+        )
+        assert trainer.metrics_registry is None
+        assert trainer.health is None
+        assert trainer.report.health == {}
+        assert trainer.report.metrics == {}
+
 
 class TestTrainCli:
     def test_train_writes_report_json(self, tmp_path, capsys):
@@ -124,3 +161,68 @@ class TestTrainCli:
     def test_report_json_rejected_for_all(self, tmp_path, capsys):
         code = main(["all", "--report-json", str(tmp_path / "x.json")])
         assert code == 2
+
+
+class TestTracedTrainCli:
+    """The acceptance path: train --events → spans + prom dump + v2 report."""
+
+    @pytest.fixture(scope="class")
+    def traced_run(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("traced")
+        events = tmp / "run.jsonl"
+        report = tmp / "report.json"
+        code = main(
+            [
+                "train", "--dataset", "yelpchi", "--scale", "0.2",
+                "--epochs", "2", "--events", str(events),
+                "--report-json", str(report),
+            ]
+        )
+        assert code == 0
+        return events, report
+
+    def test_event_stream_covers_all_span_kinds(self, traced_run):
+        events, _ = traced_run
+        parsed = read_events(events)
+        kinds = {e["kind"] for e in parsed if e["event"] == "span_begin"}
+        assert {"data", "epoch", "eval", "rank"} <= kinds
+        names = {e["name"] for e in parsed if e["event"] == "point"}
+        assert {"run_start", "epoch", "run_end"} <= names
+        # Every event belongs to the same trace.
+        assert len({e["trace"] for e in parsed}) == 1
+
+    def test_epoch_events_carry_losses(self, traced_run):
+        events, _ = traced_run
+        epochs = [
+            e["attrs"] for e in read_events(events)
+            if e["event"] == "point" and e["name"] == "epoch"
+        ]
+        assert len(epochs) == 2
+        assert all("train_loss" in e and "brmse" in e for e in epochs)
+
+    def test_prometheus_dump_written(self, traced_run):
+        events, _ = traced_run
+        prom = events.with_name(events.name + ".prom")
+        text = prom.read_text()
+        assert "# TYPE repro_epoch_seconds histogram" in text
+        assert "repro_epochs_total 2" in text
+
+    def test_report_is_v2_with_health(self, traced_run):
+        _, report = traced_run
+        payload = json.loads(report.read_text())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert set(payload["health"]["monitors"]) >= {
+            "gradient_drift", "dead_units", "attention_entropy", "calibration_drift",
+        }
+        assert "repro_epochs_total" in payload["metrics"]
+
+    def test_watch_renders_the_stream(self, traced_run, capsys):
+        events, _ = traced_run
+        assert main(["watch", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "dataset=yelpchi" in out
+        assert "status=finished" in out
+
+    def test_list_mentions_watch(self, capsys):
+        assert main(["list"]) == 0
+        assert "watch" in capsys.readouterr().out.splitlines()

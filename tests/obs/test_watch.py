@@ -1,0 +1,137 @@
+"""The watch CLI: event aggregation and status-screen rendering."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import Tracer
+from repro.obs.watch import WatchState, render_file, watch
+
+
+def _write_run(path, finished=True, alerts=False):
+    """A miniature but realistic event stream via the real Tracer."""
+    with Tracer(path) as tracer:
+        tracer.event(
+            "run_start", dataset="yelpchi", users=100, items=8,
+            reviews=250, epochs=3, encoder="bilstm", seed=0,
+        )
+        with tracer.span("data.load_dataset", kind="data"):
+            pass
+        for epoch in range(1, 3):
+            with tracer.span("fit.epoch.train", kind="epoch"):
+                pass
+            tracer.event(
+                "epoch", epoch=epoch, train_loss=5.0 - epoch,
+                reliability_loss=0.5, rating_loss=8.0 - epoch,
+                seconds=0.4, grad_norm=2.0, brmse=1.2 - 0.05 * epoch,
+            )
+        if alerts:
+            tracer.event(
+                "health", monitor="calibration_drift", severity="warn",
+                epoch=2, message="ECE drifted", value=0.4, threshold=0.3,
+            )
+        if finished:
+            tracer.event("run_end", epochs=2, health="ok", brmse=1.1)
+
+
+class TestWatchState:
+    def test_aggregates_run(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_run(path, alerts=True)
+        state = WatchState()
+        for line in path.read_text().splitlines():
+            state.feed_line(line)
+        assert state.run["dataset"] == "yelpchi"
+        assert [e["epoch"] for e in state.epochs] == [1, 2]
+        assert len(state.alerts) == 1
+        assert state.finished
+        assert state.span_kinds["data"] == 1
+        assert state.span_kinds["epoch"] == 2
+
+    def test_malformed_lines_skipped(self):
+        state = WatchState()
+        state.feed_line("garbage{")
+        state.feed_line("")
+        state.feed_line(json.dumps([1, 2]))
+        assert state.events_seen == 0
+
+    def test_open_spans_tracked(self):
+        state = WatchState()
+        state.feed({"event": "span_begin", "span": "7", "name": "fit", "kind": "phase"})
+        assert "7" in state.open_spans
+        state.feed({"event": "span_end", "span": "7", "name": "fit"})
+        assert state.open_spans == {}
+
+
+class TestRender:
+    def test_render_mentions_everything(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_run(path, alerts=True)
+        text = render_file(path)
+        assert "dataset=yelpchi" in text
+        assert "status=finished" in text
+        assert "epoch 2/3" in text
+        assert "calibration_drift" in text
+        assert "data=1" in text and "epoch=2" in text
+        assert "final:" in text
+
+    def test_render_running_run(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_run(path, finished=False)
+        text = render_file(path)
+        assert "status=running" in text
+        assert "health: ok (no alerts)" in text
+
+    def test_render_empty_state(self):
+        text = WatchState().render()
+        assert "status=running" in text
+
+    def test_loss_sparkline_present(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_run(path)
+        assert "loss curve:" in render_file(path)
+
+
+class TestWatchEntryPoint:
+    def test_missing_file_returns_2(self, tmp_path):
+        assert watch(tmp_path / "nope.jsonl") == 2
+
+    def test_one_shot_renders(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_run(path)
+        out = io.StringIO()
+        assert watch(path, stream=out) == 0
+        assert "dataset=yelpchi" in out.getvalue()
+
+    def test_follow_stops_on_run_end(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_run(path, finished=True)
+        out = io.StringIO()
+        assert watch(path, follow=True, poll=0.01, stream=out, max_polls=3) == 0
+
+    def test_follow_picks_up_appended_events(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_run(path, finished=False)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps({
+                "event": "point", "ts": 0.0, "trace": "t", "span": "99",
+                "parent": None, "name": "run_end", "attrs": {"epochs": 2},
+            }) + "\n")
+        out = io.StringIO()
+        assert watch(path, follow=True, poll=0.01, stream=out, max_polls=5) == 0
+        assert "status=finished" in out.getvalue()
+
+    def test_cli_wiring(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "run.jsonl"
+        _write_run(path)
+        assert main(["watch", str(path)]) == 0
+        assert "dataset=yelpchi" in capsys.readouterr().out
+
+    def test_cli_watch_without_path_errors(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["watch"]) == 2
+        assert "event file" in capsys.readouterr().err
