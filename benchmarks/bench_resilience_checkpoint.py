@@ -1,0 +1,84 @@
+"""Benchmark: checkpoint save/restore cost of the resilience runtime.
+
+Measures the wall time of atomic `CheckpointManager.save` and
+`CheckpointManager.load` round-trips on a real trained `RRRETrainer`
+snapshot (model weights + Adam moments + RNG streams + history), so the
+`BENCH_*.json` trajectory catches regressions in checkpoint overhead —
+the per-epoch tax every fault-tolerant run pays.
+"""
+
+import time
+from dataclasses import asdict
+from types import SimpleNamespace
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.core import RRRETrainer, fast_config
+from repro.data import load_dataset, train_test_split
+from repro.nn import Adam
+from repro.resilience import CheckpointManager, TrainState, capture_rng_states
+
+ROUNDS = 10
+
+
+def checkpoint_roundtrips(scale, tmp_path):
+    """Train briefly, then time ``ROUNDS`` save and load cycles."""
+    dataset = load_dataset("yelpchi", seed=0, scale=scale)
+    train, test = train_test_split(dataset, seed=0)
+    trainer = RRRETrainer(fast_config(epochs=1))
+    trainer.fit(dataset, train, test)
+
+    optimizer = Adam(
+        [param for _, param in trainer.model.named_parameters()], lr=0.004
+    )
+    state = TrainState(
+        epoch=1,
+        model_state=trainer.model.state_dict(),
+        optimizer_state=optimizer.state_dict(),
+        rng_states=capture_rng_states(np.random.default_rng(0), trainer.model),
+        history=[asdict(record) for record in trainer.history],
+        config=asdict(trainer.config),
+    )
+
+    manager = CheckpointManager(tmp_path, keep=2)
+    save_times, load_times = [], []
+    manifest = None
+    for _ in range(ROUNDS):
+        begin = time.perf_counter()
+        manifest = manager.save(state)
+        save_times.append(time.perf_counter() - begin)
+        begin = time.perf_counter()
+        manager.load(manifest)
+        load_times.append(time.perf_counter() - begin)
+
+    payload_bytes = manifest.with_suffix(".npz").stat().st_size
+    timings = {
+        "parameters": trainer.model.num_parameters(),
+        "payload_bytes": payload_bytes,
+        "save_seconds_mean": float(np.mean(save_times)),
+        "save_seconds_max": float(np.max(save_times)),
+        "load_seconds_mean": float(np.mean(load_times)),
+        "load_seconds_max": float(np.max(load_times)),
+        "rounds": ROUNDS,
+    }
+    rendered = (
+        f"checkpoint: {payload_bytes / 1e6:.2f} MB payload, "
+        f"save {timings['save_seconds_mean'] * 1e3:.1f} ms, "
+        f"load {timings['load_seconds_mean'] * 1e3:.1f} ms "
+        f"(mean of {ROUNDS})"
+    )
+    # Shaped like an ExperimentReport so run_once writes the timings
+    # into the BENCH_*.json artifact.
+    return SimpleNamespace(data=timings, rendered=rendered)
+
+
+def test_checkpoint_roundtrip(benchmark, bench_params, tmp_path):
+    report = run_once(
+        benchmark, checkpoint_roundtrips, bench_params["scale"], tmp_path
+    )
+    print("\n" + report.rendered)
+    assert report.data["save_seconds_mean"] > 0
+    assert report.data["load_seconds_mean"] > 0
+    assert report.data["payload_bytes"] > 0

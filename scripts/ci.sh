@@ -9,6 +9,10 @@
 #   3. traced smoke run    — a ~10s tiny training run with tracing and
 #      metrics enabled, then a one-shot watch render; asserts the event
 #      stream, the Prometheus dump, and the v2 report all materialize.
+#   4. chaos recovery smoke — train with an injected mid-epoch crash,
+#      resume from the surviving checkpoints (exercising the CLI
+#      --checkpoint-dir/--resume path too), and assert the resumed
+#      model is bitwise identical to an uninterrupted reference run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,5 +54,52 @@ assert "# TYPE repro_epoch_seconds histogram" in prom
 
 print("smoke run OK:", len(events), "events,", len(kinds), "span kinds")
 PY
+
+echo "== chaos recovery smoke =="
+python - "$SMOKE_DIR" <<'PY'
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, "src")
+from repro.core import RRRETrainer, fast_config
+from repro.data import load_dataset, train_test_split
+from repro.resilience import ChaosEngine, SimulatedCrash
+
+ckpt_dir = Path(sys.argv[1]) / "chaos-ckpts"
+dataset = load_dataset("yelpchi", seed=0, scale=0.15)
+train, test = train_test_split(dataset, seed=0)
+
+reference = RRRETrainer(fast_config(epochs=3))
+reference.fit(dataset, train, test)
+
+victim = RRRETrainer(fast_config(epochs=3))
+chaos = ChaosEngine(seed=0).crash_at(epoch=2, step=2)
+try:
+    victim.fit(dataset, train, test, checkpoint_dir=ckpt_dir, chaos=chaos)
+except SimulatedCrash:
+    pass
+else:
+    raise AssertionError("chaos crash never fired")
+
+resumed = RRRETrainer(fast_config(epochs=3))
+resumed.fit(dataset, train, test, checkpoint_dir=ckpt_dir, resume=True)
+
+expected = reference.model.state_dict()
+actual = resumed.model.state_dict()
+assert sorted(expected) == sorted(actual)
+for key in expected:
+    np.testing.assert_array_equal(actual[key], expected[key], err_msg=key)
+assert resumed.history[-1].eval_metrics == reference.history[-1].eval_metrics
+print("chaos recovery OK: resumed model bitwise-equal after injected crash")
+PY
+# The same resume path through the CLI flags.
+python -m repro train --dataset yelpchi --scale 0.15 --epochs 2 \
+    --checkpoint-dir "$SMOKE_DIR/cli-ckpts" > "$SMOKE_DIR/cli-train.log"
+python -m repro train --dataset yelpchi --scale 0.15 --epochs 3 \
+    --checkpoint-dir "$SMOKE_DIR/cli-ckpts" --resume > "$SMOKE_DIR/cli-resume.log"
+grep -q "resumed" "$SMOKE_DIR/cli-resume.log" \
+    || { echo "CLI resume did not report a restored checkpoint"; exit 1; }
 
 echo "== CI green =="

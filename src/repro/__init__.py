@@ -21,6 +21,9 @@ Subpackages
 ``repro.obs``
     Observability: per-layer profiling hooks, timers, structured run
     reports (see ``docs/observability.md``).
+``repro.resilience``
+    Fault tolerance: atomic checkpoint/resume, divergence rollback,
+    deterministic chaos testing (see ``docs/resilience.md``).
 
 Quickstart
 ----------
@@ -34,7 +37,7 @@ Quickstart
 
 __version__ = "1.0.0"
 
-from . import baselines, core, data, eval, metrics, nn, obs, text
+from . import baselines, core, data, eval, metrics, nn, obs, resilience, text
 
 __all__ = [
     "baselines",
@@ -44,6 +47,7 @@ __all__ = [
     "metrics",
     "nn",
     "obs",
+    "resilience",
     "text",
     "__version__",
 ]

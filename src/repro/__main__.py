@@ -10,6 +10,9 @@ Usage::
     python -m repro train --dataset yelpchi --epochs 6 \
         --profile --report-json out.json   # telemetry: RunReport JSON
     python -m repro train --events run.jsonl  # + traced spans & metrics
+    python -m repro train --checkpoint-dir ckpts \
+        --checkpoint-every 1               # fault-tolerant: atomic checkpoints
+    python -m repro train --checkpoint-dir ckpts --resume  # continue a run
     python -m repro watch run.jsonl        # render the event stream
     python -m repro watch run.jsonl --follow  # live-tail a running fit
 
@@ -115,6 +118,27 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: <events>.prom when --events is given)",
     )
     parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="for 'train': write atomic training checkpoints to DIR and "
+        "enable the divergence guard (see docs/resilience.md)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="for 'train': resume from the newest intact checkpoint in "
+        "--checkpoint-dir and continue to a result identical to an "
+        "uninterrupted run",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="for 'train': checkpoint every N epochs (default 1)",
+    )
+    parser.add_argument(
         "--follow",
         action="store_true",
         help="for 'watch': keep tailing the event file until run_end",
@@ -176,6 +200,9 @@ def run_train(
     report_json: Optional[str],
     events: Optional[str] = None,
     metrics_path: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    checkpoint_every: int = 1,
 ) -> None:
     """One telemetry-enabled RRRE fit; prints (and optionally writes) the report.
 
@@ -183,6 +210,11 @@ def run_train(
     final evaluation, and a sample recommendation — is traced to a JSONL
     event stream, and the metrics registry is dumped in Prometheus text
     format (``metrics_path``, default ``<events>.prom``).
+
+    ``checkpoint_dir`` turns on the fault-tolerant runtime (see
+    ``docs/resilience.md``): atomic checkpoints every
+    ``checkpoint_every`` epochs plus the divergence guard; ``resume``
+    continues from the newest intact checkpoint in that directory.
     """
     import contextlib
 
@@ -197,7 +229,17 @@ def run_train(
             dataset = load_dataset(dataset_name, seed=0, scale=scale)
             train, test = train_test_split(dataset, seed=0)
             trainer = RRRETrainer(fast_config(epochs=epochs))
-            trainer.fit(dataset, train, test, telemetry=Telemetry())
+            trainer.fit(
+                dataset,
+                train,
+                test,
+                verbose=bool(checkpoint_dir),
+                telemetry=Telemetry(),
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+                checkpoint_every=checkpoint_every,
+                guard=bool(checkpoint_dir),
+            )
             # Exercise the re-ranking path so the trace carries rank spans.
             recommend_items(trainer, user_id=0, top_k=5)
     finally:
@@ -226,6 +268,9 @@ def main(argv=None) -> int:
         print("watch")
         return 0
     if args.experiment == "train":
+        if args.resume and not args.checkpoint_dir:
+            print("--resume requires --checkpoint-dir", file=sys.stderr)
+            return 2
         run_train(
             args.dataset,
             args.scale,
@@ -234,6 +279,9 @@ def main(argv=None) -> int:
             args.report_json,
             events=args.events,
             metrics_path=args.metrics,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
         )
         return 0
     if args.experiment == "watch":

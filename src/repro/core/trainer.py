@@ -17,6 +17,17 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.nn import Adam, clip_grad_norm
+from repro.resilience import (
+    ChaosEngine,
+    CheckpointError,
+    CheckpointManager,
+    DivergenceGuard,
+    DivergencePolicy,
+    TrainState,
+    capture_rng_states,
+    check_config_compatible,
+    restore_rng_states,
+)
 from repro.obs import (
     HealthSuite,
     MetricsRegistry,
@@ -60,6 +71,16 @@ def _maybe_timer(registry: Optional[TimerRegistry], name: str):
 def _maybe_metrics(registry: Optional[MetricsRegistry]):
     """Activate ``registry`` for the block, or do nothing when disabled."""
     return use_metrics(registry) if registry is not None else nullcontext()
+
+
+class _EpochDiverged(Exception):
+    """Internal: a batch failed the divergence guard; the epoch aborts."""
+
+    def __init__(self, reason: str, value: float, step: int) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.value = value
+        self.step = step
 
 
 @dataclass
@@ -112,6 +133,12 @@ class RRRETrainer:
         test: Optional[ReviewSubset] = None,
         verbose: bool = False,
         telemetry: Union[None, bool, Telemetry] = None,
+        checkpoint_dir=None,
+        resume: bool = False,
+        checkpoint_every: int = 1,
+        keep_checkpoints: int = 3,
+        guard: Union[None, bool, DivergencePolicy, DivergenceGuard] = None,
+        chaos: Optional[ChaosEngine] = None,
     ) -> "RRRETrainer":
         """Train on ``train``; optionally evaluate on ``test`` per epoch.
 
@@ -125,12 +152,47 @@ class RRRETrainer:
         trace spans and the run streams ``run_start``/``epoch``/
         ``health``/``run_end`` events.  The default (``None``/``False``)
         runs the untouched fast path.
+
+        Fault tolerance (see ``docs/resilience.md``): ``checkpoint_dir``
+        persists a :class:`repro.resilience.TrainState` every
+        ``checkpoint_every`` epochs (atomic writes, newest
+        ``keep_checkpoints`` retained); ``resume=True`` restores the
+        newest intact checkpoint — model, optimizer moments, RNG streams,
+        history — and continues to a final model bitwise-identical to an
+        uninterrupted run.  ``guard`` (``True``, a
+        :class:`repro.resilience.DivergencePolicy`, or a prepared
+        :class:`repro.resilience.DivergenceGuard`) screens every batch
+        for NaN/Inf losses and exploding gradients *before* the update
+        is applied and answers a hit with rollback to the last good
+        state plus learning-rate backoff, raising
+        :class:`repro.resilience.DivergenceError` once retries are
+        exhausted.  ``chaos`` injects deterministic faults for tests.
         """
         cfg = self.config
         if telemetry is True:
             telemetry = Telemetry()
         elif not telemetry:
             telemetry = None
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        if resume and checkpoint_dir is None:
+            raise ValueError("resume=True requires checkpoint_dir")
+        if guard is True:
+            guard = DivergenceGuard()
+        elif isinstance(guard, DivergencePolicy):
+            guard = DivergenceGuard(guard)
+        elif not guard:
+            guard = None
+        manager: Optional[CheckpointManager] = None
+        if checkpoint_dir is not None:
+            manager = CheckpointManager(
+                checkpoint_dir,
+                keep=keep_checkpoints,
+                fault_hook=chaos.on_checkpoint if chaos is not None else None,
+            )
+        restored: Optional[TrainState] = None
+        if resume and manager is not None:
+            restored = manager.latest_good()
         tracer: Optional[Tracer] = None
         owned_tracer = False
         registry: Optional[TimerRegistry] = None
@@ -169,7 +231,9 @@ class RRRETrainer:
             num_items=dataset.num_items,
             vocab_size=len(self.table.vocab),
         )
-        if cfg.pretrain_words:
+        if cfg.pretrain_words and restored is None:
+            # A resumed run restores the trained word vectors from the
+            # checkpoint; re-running skip-gram would be wasted work.
             with _maybe_timer(registry, "fit.pretrain_words"):
                 train_tokens = [dataset.tokens[int(i)] for i in train.index_array]
                 vectors = train_skipgram(
@@ -184,6 +248,20 @@ class RRRETrainer:
         optimizer = Adam(
             self.model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay
         )
+        start_epoch = 0
+        if restored is not None:
+            problems = check_config_compatible(restored.config, asdict(cfg))
+            if problems:
+                raise CheckpointError(
+                    "checkpoint is incompatible with the current config: "
+                    + "; ".join(problems)
+                )
+            self._restore_state(restored, optimizer, rng)
+            if guard is not None:
+                guard.retries = restored.retries
+            start_epoch = restored.epoch
+            if verbose:
+                print(f"[resilience] resumed from checkpoint at epoch {start_epoch}")
         if telemetry and telemetry.profile_layers:
             profiler = ModuleProfiler(
                 backward_timing=telemetry.backward_timing,
@@ -194,8 +272,7 @@ class RRRETrainer:
             profiler.attach(self.model)
 
         if tracer is not None:
-            tracer.event(
-                "run_start",
+            run_info = dict(
                 dataset=dataset.name,
                 users=dataset.num_users,
                 items=dataset.num_items,
@@ -204,6 +281,9 @@ class RRRETrainer:
                 encoder=cfg.encoder,
                 seed=cfg.seed,
             )
+            if restored is not None:
+                run_info["resumed_from_epoch"] = start_epoch
+            tracer.event("run_start", **run_info)
         if metrics_registry is not None:
             epoch_hist = metrics_registry.histogram(
                 "repro_epoch_seconds", "Wall time per training epoch"
@@ -218,10 +298,19 @@ class RRRETrainer:
                 "repro_epochs_total", "Training epochs completed"
             ).labels()
 
-        self.history = []
+        if restored is None:
+            self.history = []
+        track_state = guard is not None or manager is not None
+        last_good: Optional[TrainState] = None
+        if track_state:
+            # The rollback/checkpoint anchor; epoch 0 covers divergence
+            # in the very first epoch.
+            last_good = restored or self._snapshot_state(optimizer, rng, start_epoch)
         try:
             with _maybe_metrics(metrics_registry):
-                for epoch in range(1, cfg.epochs + 1):
+                epoch = start_epoch
+                while epoch < cfg.epochs:
+                    target = epoch + 1
                     start = time.perf_counter()
                     self.model.train()
                     sums = np.zeros(3)
@@ -229,44 +318,82 @@ class RRRETrainer:
                     n_batches = 0
                     entropy_sum = 0.0
                     entropy_max_sum = 0.0
-                    with _maybe_timer(registry, "fit.epoch.train"):
-                        for batch in iter_batches(
-                            train, cfg.batch_size, shuffle=True, rng=rng
-                        ):
-                            optimizer.zero_grad()
-                            out = self.model(
-                                batch.user_ids, batch.item_ids, self.slots, self.table
-                            )
-                            parts = joint_loss(
-                                out.rating,
-                                out.reliability_logits,
-                                batch.ratings,
-                                batch.labels,
-                                lambda_weight=cfg.lambda_weight,
-                                biased=cfg.biased_loss,
-                            )
-                            parts.total.backward()
-                            grad_norm_sum += clip_grad_norm(
-                                self.model.parameters(), cfg.grad_clip
-                            )
-                            optimizer.step()
-                            sums += (
-                                float(parts.total.data),
-                                parts.reliability_loss,
-                                parts.rating_loss,
-                            )
-                            n_batches += 1
-                            if health is not None:
-                                stats = attention_entropy(
-                                    out.user_attention.data,
-                                    self.slots.user_slot_mask[batch.user_ids],
+                    try:
+                        with _maybe_timer(registry, "fit.epoch.train"):
+                            step_in_epoch = 0
+                            for batch in iter_batches(
+                                train, cfg.batch_size, shuffle=True, rng=rng
+                            ):
+                                step_in_epoch += 1
+                                if chaos is not None:
+                                    batch = chaos.on_batch(target, step_in_epoch, batch)
+                                optimizer.zero_grad()
+                                out = self.model(
+                                    batch.user_ids, batch.item_ids, self.slots, self.table
                                 )
-                                entropy_sum += stats["entropy"]
-                                entropy_max_sum += stats["max_entropy"]
+                                parts = joint_loss(
+                                    out.rating,
+                                    out.reliability_logits,
+                                    batch.ratings,
+                                    batch.labels,
+                                    lambda_weight=cfg.lambda_weight,
+                                    biased=cfg.biased_loss,
+                                )
+                                parts.total.backward()
+                                if chaos is not None:
+                                    chaos.on_gradients(
+                                        target, step_in_epoch, self.model.parameters()
+                                    )
+                                grad_norm = clip_grad_norm(
+                                    self.model.parameters(), cfg.grad_clip
+                                )
+                                loss_value = float(parts.total.data)
+                                if guard is not None:
+                                    reason = guard.check_batch(loss_value, grad_norm)
+                                    if reason is not None:
+                                        value = (
+                                            loss_value
+                                            if "loss" in reason
+                                            else grad_norm
+                                        )
+                                        raise _EpochDiverged(
+                                            reason, value, step_in_epoch
+                                        )
+                                optimizer.step()
+                                grad_norm_sum += grad_norm
+                                sums += (
+                                    loss_value,
+                                    parts.reliability_loss,
+                                    parts.rating_loss,
+                                )
+                                n_batches += 1
+                                if health is not None:
+                                    stats = attention_entropy(
+                                        out.user_attention.data,
+                                        self.slots.user_slot_mask[batch.user_ids],
+                                    )
+                                    entropy_sum += stats["entropy"]
+                                    entropy_max_sum += stats["max_entropy"]
+                    except _EpochDiverged as diverged:
+                        self._rollback(
+                            diverged.reason,
+                            diverged.value,
+                            diverged.step,
+                            target,
+                            guard,
+                            last_good,
+                            optimizer,
+                            rng,
+                            tracer,
+                            metrics_registry,
+                            registry,
+                            verbose,
+                        )
+                        continue
                     seconds = time.perf_counter() - start
 
                     record = EpochRecord(
-                        epoch=epoch,
+                        epoch=target,
                         train_loss=sums[0] / max(n_batches, 1),
                         reliability_loss=sums[1] / max(n_batches, 1),
                         rating_loss=sums[2] / max(n_batches, 1),
@@ -289,24 +416,24 @@ class RRRETrainer:
                     new_alerts = []
                     if health is not None:
                         new_alerts.append(
-                            health.gradient.observe(epoch, record.grad_norm)
+                            health.gradient.observe(target, record.grad_norm)
                         )
                         if n_batches:
                             new_alerts.append(
                                 health.attention.observe(
-                                    epoch,
+                                    target,
                                     entropy_sum / n_batches,
                                     entropy_max_sum / n_batches,
                                 )
                             )
                         if ece is not None:
                             new_alerts.append(
-                                health.calibration.observe(epoch, ece)
+                                health.calibration.observe(target, ece)
                             )
                         if profiler is not None and telemetry.activation_stats:
                             new_alerts.extend(
                                 health.dead_units.observe_layers(
-                                    epoch, profiler.layer_profiles()
+                                    target, profiler.layer_profiles()
                                 )
                             )
                         new_alerts = [a for a in new_alerts if a is not None]
@@ -333,9 +460,51 @@ class RRRETrainer:
                             f"{k}={v:.4f}" for k, v in record.eval_metrics.items()
                         )
                         print(
-                            f"[{dataset.name}] epoch {epoch}/{cfg.epochs} "
+                            f"[{dataset.name}] epoch {target}/{cfg.epochs} "
                             f"loss={record.train_loss:.4f} ({seconds:.1f}s) {extra}"
                         )
+
+                    if guard is not None:
+                        # Epoch-level trigger: a fresh critical health
+                        # alert can roll the whole epoch back (opt-in
+                        # via DivergencePolicy.halt_on_health_critical).
+                        reason = guard.check_health(new_alerts)
+                        if reason is not None:
+                            self._rollback(
+                                reason,
+                                1.0,
+                                n_batches,
+                                target,
+                                guard,
+                                last_good,
+                                optimizer,
+                                rng,
+                                tracer,
+                                metrics_registry,
+                                registry,
+                                verbose,
+                            )
+                            continue
+
+                    epoch = target
+                    if track_state:
+                        last_good = self._snapshot_state(
+                            optimizer,
+                            rng,
+                            epoch,
+                            retries=guard.retries if guard is not None else 0,
+                        )
+                        if manager is not None and (
+                            epoch % checkpoint_every == 0 or epoch == cfg.epochs
+                        ):
+                            self._write_checkpoint(
+                                manager,
+                                last_good,
+                                tracer,
+                                metrics_registry,
+                                registry,
+                                verbose,
+                            )
         finally:
             if profiler is not None:
                 profiler.detach()
@@ -397,6 +566,137 @@ class RRRETrainer:
             metrics=metrics_registry.snapshot() if metrics_registry is not None else {},
             meta={"library": "repro", "version": __version__, "seed": self.config.seed},
         )
+
+    # ------------------------------------------------------------------
+    # Fault tolerance (see docs/resilience.md)
+    # ------------------------------------------------------------------
+    def _snapshot_state(
+        self,
+        optimizer,
+        rng: np.random.Generator,
+        epoch: int,
+        retries: int = 0,
+    ) -> TrainState:
+        """Capture a restartable snapshot of the run at an epoch boundary."""
+        return TrainState(
+            epoch=epoch,
+            model_state=self.model.state_dict(),
+            optimizer_state=optimizer.state_dict(),
+            rng_states=capture_rng_states(rng, self.model),
+            history=[asdict(record) for record in self.history],
+            config=asdict(self.config),
+            retries=retries,
+            metrics=dict(self.history[-1].eval_metrics) if self.history else {},
+        )
+
+    def _restore_state(
+        self, state: TrainState, optimizer, rng: np.random.Generator
+    ) -> None:
+        """Rewind model, optimizer, RNG streams, and history to ``state``."""
+        self.model.load_state_dict(state.model_state)
+        optimizer.load_state_dict(state.optimizer_state)
+        restore_rng_states(state.rng_states, rng, self.model)
+        self.history = [EpochRecord(**dict(row)) for row in state.history]
+
+    def _rollback(
+        self,
+        reason: str,
+        value: float,
+        step: int,
+        target: int,
+        guard: DivergenceGuard,
+        last_good: TrainState,
+        optimizer,
+        rng: np.random.Generator,
+        tracer,
+        metrics_registry,
+        registry,
+        verbose: bool,
+    ) -> None:
+        """Answer a divergence: restore the anchor and back off the LR.
+
+        Raises :class:`repro.resilience.DivergenceError` once the
+        guard's retry budget is exhausted.
+        """
+        lr_before = optimizer.lr
+        if guard.exhausted:
+            guard.record(target, step, reason, value, lr_before, lr_before)
+            if tracer is not None:
+                tracer.event(
+                    "divergence_failure",
+                    epoch=target,
+                    step=step,
+                    reason=reason,
+                    retries=guard.retries,
+                )
+            guard.raise_exhausted(target, reason, value)
+        with _maybe_timer(registry, "fit.rollback"):
+            self._restore_state(last_good, optimizer, rng)
+        # Back off from the rate of the *failed* attempt, not the
+        # restored one, so repeated retries keep compounding the decay.
+        optimizer.lr = guard.backoff_lr(lr_before)
+        event = guard.record(
+            target, step, reason, value, lr_before, optimizer.lr
+        )
+        if metrics_registry is not None:
+            metrics_registry.counter(
+                "repro_rollbacks_total", "Divergence rollbacks executed"
+            ).labels().inc()
+        if tracer is not None:
+            tracer.event("rollback", retries=guard.retries, **event.to_dict())
+        if verbose:
+            print(
+                f"[resilience] rollback at epoch {target} step {step}: "
+                f"{reason} (value={value:.4g}), lr {lr_before:.2e} -> "
+                f"{optimizer.lr:.2e}, retry {guard.retries}/"
+                f"{guard.policy.max_retries}"
+            )
+
+    def _write_checkpoint(
+        self,
+        manager: CheckpointManager,
+        state: TrainState,
+        tracer,
+        metrics_registry,
+        registry,
+        verbose: bool,
+    ) -> None:
+        """Persist ``state``; a failed write degrades to a warning.
+
+        Training carries on after a failed checkpoint (the previous one
+        is still intact on disk) — the failure is surfaced through the
+        ``repro_checkpoint_failures_total`` counter and a
+        ``checkpoint_failed`` trace event instead of killing the run.
+        """
+        ckpt_start = time.perf_counter()
+        try:
+            with _maybe_timer(registry, "fit.checkpoint"):
+                path = manager.save(state)
+        except CheckpointError as exc:
+            if metrics_registry is not None:
+                metrics_registry.counter(
+                    "repro_checkpoint_failures_total",
+                    "Checkpoint writes that failed (training continued)",
+                ).labels().inc()
+            if tracer is not None:
+                tracer.event(
+                    "checkpoint_failed", epoch=state.epoch, error=str(exc)
+                )
+            if verbose:
+                print(f"[resilience] checkpoint write failed: {exc}")
+            return
+        seconds = time.perf_counter() - ckpt_start
+        if metrics_registry is not None:
+            metrics_registry.counter(
+                "repro_checkpoints_total", "Checkpoints written"
+            ).labels().inc()
+            metrics_registry.histogram(
+                "repro_checkpoint_seconds", "Wall time per checkpoint write"
+            ).labels().observe(seconds)
+        if tracer is not None:
+            tracer.event(
+                "checkpoint", epoch=state.epoch, path=str(path), seconds=seconds
+            )
 
     # ------------------------------------------------------------------
     def predict_pairs(

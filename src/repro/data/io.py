@@ -3,13 +3,22 @@
 A generated platform can be frozen to disk and reloaded byte-identically
 — useful for sharing exact experimental inputs and for diffing simulator
 versions.  One JSON object per review plus a leading header object.
+
+Loading degrades gracefully: :func:`load_dataset_jsonl` can skip
+malformed or truncated lines up to a caller-set tolerance, quarantining
+the offenders to a sidecar file and reporting the count through the
+active :class:`repro.obs.MetricsRegistry` — so one bad record in a
+multi-gigabyte export no longer destroys the run that reads it.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
-from typing import Union
+from typing import List, Optional, Tuple, Union
+
+from repro.obs import metrics as obs_metrics
 
 from .review import Review, ReviewDataset
 
@@ -47,9 +56,55 @@ def save_dataset_jsonl(dataset: ReviewDataset, path: PathLike) -> None:
             )
 
 
-def load_dataset_jsonl(path: PathLike) -> ReviewDataset:
-    """Read a dataset written by :func:`save_dataset_jsonl`."""
+def _parse_review(obj: dict) -> Review:
+    """Build one :class:`Review`; raises ``ValueError`` on bad fields."""
+    try:
+        review = Review(
+            user_id=int(obj["u"]),
+            item_id=int(obj["i"]),
+            rating=float(obj["r"]),
+            label=int(obj["l"]),
+            text=str(obj["w"]),
+            timestamp=float(obj["t"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed review record: {exc}") from exc
+    if not math.isfinite(review.rating):
+        raise ValueError(f"non-finite rating {review.rating!r}")
+    return review
+
+
+def _write_quarantine(
+    path: Path, bad: List[Tuple[int, str, str]]
+) -> None:
+    """Persist skipped lines as JSONL (line number, error, raw text)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for line_no, error, raw in bad:
+            fh.write(json.dumps({"line": line_no, "error": error, "raw": raw}) + "\n")
+
+
+def load_dataset_jsonl(
+    path: PathLike,
+    max_bad_lines: int = 0,
+    quarantine: Optional[PathLike] = None,
+) -> ReviewDataset:
+    """Read a dataset written by :func:`save_dataset_jsonl`.
+
+    ``max_bad_lines`` sets the tolerance for malformed or truncated
+    review lines (invalid JSON, missing/ill-typed fields, non-finite
+    ratings).  The default ``0`` keeps the strict behaviour — the first
+    bad line raises ``ValueError``.  With a positive tolerance, bad
+    lines are skipped, written to a quarantine sidecar
+    (``quarantine``, default ``<path>.quarantine``) as
+    ``{"line", "error", "raw"}`` JSONL records, and counted on the
+    active metrics registry (``repro_quarantined_lines_total``);
+    exceeding the tolerance still raises.  A bad *header* is always
+    fatal — without it the body cannot be interpreted.
+    """
+    if max_bad_lines < 0:
+        raise ValueError(f"max_bad_lines must be >= 0, got {max_bad_lines}")
     path = Path(path)
+    bad: List[Tuple[int, str, str]] = []
     with open(path, encoding="utf-8") as f:
         header_line = f.readline()
         if not header_line.strip():
@@ -66,22 +121,33 @@ def load_dataset_jsonl(path: PathLike) -> ReviewDataset:
             line = line.strip()
             if not line:
                 continue
-            obj = json.loads(line)
             try:
-                reviews.append(
-                    Review(
-                        user_id=int(obj["u"]),
-                        item_id=int(obj["i"]),
-                        rating=float(obj["r"]),
-                        label=int(obj["l"]),
-                        text=str(obj["w"]),
-                        timestamp=float(obj["t"]),
-                    )
-                )
-            except (KeyError, TypeError) as exc:
-                raise ValueError(f"{path}:{line_no}: malformed review record") from exc
+                reviews.append(_parse_review(json.loads(line)))
+            except ValueError as exc:
+                # Covers json.JSONDecodeError (a ValueError subclass)
+                # and field-level failures from _parse_review alike.
+                bad.append((line_no, str(exc), line))
+                if len(bad) > max_bad_lines:
+                    raise ValueError(
+                        f"{path}:{line_no}: malformed review record ({exc}); "
+                        f"{len(bad)} bad line(s) exceeds tolerance "
+                        f"max_bad_lines={max_bad_lines}"
+                    ) from exc
     if not reviews:
         raise ValueError(f"{path}: no review records after the header")
+    if bad:
+        quarantine_path = (
+            Path(quarantine)
+            if quarantine is not None
+            else path.with_name(path.name + ".quarantine")
+        )
+        _write_quarantine(quarantine_path, bad)
+        registry = obs_metrics.active()
+        if registry is not None:
+            registry.counter(
+                "repro_quarantined_lines_total",
+                "Malformed JSONL lines skipped and quarantined by the loader",
+            ).labels().inc(len(bad))
     return ReviewDataset(
         reviews,
         name=header.get("name", "dataset"),

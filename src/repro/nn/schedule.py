@@ -7,7 +7,7 @@ Schedulers wrap an :class:`~repro.nn.optim.Optimizer` and mutate its
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from .optim import Optimizer
 
@@ -29,6 +29,31 @@ class LRScheduler:
 
     def _rate(self, epoch: int) -> float:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Serialization (the "LR-schedule position" of a checkpoint)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot the schedule position and its anchor rate."""
+        return {"epoch": int(self.epoch), "base_lr": float(self.base_lr)}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot and re-apply the rate.
+
+        Strict keys (``KeyError`` on missing, ``ValueError`` on
+        unexpected); re-derives and re-applies the optimizer rate for a
+        non-zero position so a resumed run continues on the schedule.
+        """
+        missing = {"epoch", "base_lr"} - set(state)
+        if missing:
+            raise KeyError(f"scheduler state missing keys: {sorted(missing)}")
+        unexpected = set(state) - {"epoch", "base_lr"}
+        if unexpected:
+            raise ValueError(f"unexpected scheduler state keys: {sorted(unexpected)}")
+        self.epoch = int(state["epoch"])
+        self.base_lr = float(state["base_lr"])
+        if self.epoch > 0:
+            self.optimizer.lr = self._rate(self.epoch)
 
 
 class StepLR(LRScheduler):
@@ -116,3 +141,27 @@ class EarlyStopping:
     @property
     def should_stop(self) -> bool:
         return self._bad_epochs >= self.patience
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot the stopping state (for checkpoint/resume)."""
+        return {
+            "best": self.best,
+            "best_epoch": int(self.best_epoch),
+            "epoch": int(self.epoch),
+            "bad_epochs": int(self._bad_epochs),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot (strict keys)."""
+        expected = {"best", "best_epoch", "epoch", "bad_epochs"}
+        missing = expected - set(state)
+        if missing:
+            raise KeyError(f"early-stopping state missing keys: {sorted(missing)}")
+        unexpected = set(state) - expected
+        if unexpected:
+            raise ValueError(f"unexpected early-stopping state keys: {sorted(unexpected)}")
+        self.best = None if state["best"] is None else float(state["best"])
+        self.best_epoch = int(state["best_epoch"])
+        self.epoch = int(state["epoch"])
+        self._bad_epochs = int(state["bad_epochs"])

@@ -1,0 +1,54 @@
+"""``repro.resilience`` — fault-tolerant training runtime.
+
+Three cooperating pieces (see ``docs/resilience.md``):
+
+* :mod:`repro.resilience.checkpoint` — :class:`TrainState` bundles
+  (model + optimizer + RNG streams + counters + history) written
+  atomically by :class:`CheckpointManager` with content-hash manifests,
+  retention rotation, and corrupt-checkpoint fallback;
+* :mod:`repro.resilience.guard` — :class:`DivergenceGuard`, the policy
+  that stops NaN/Inf losses and exploding gradients from ever reaching
+  ``optimizer.step()`` and answers them with rollback + learning-rate
+  backoff under a bounded retry budget (:class:`DivergenceError` when
+  exhausted);
+* :mod:`repro.resilience.chaos` — :class:`ChaosEngine`, a seeded,
+  deterministic fault injector (simulated crashes, NaN gradients,
+  corrupted batches, failing checkpoint writes) that the resilience
+  test-suite uses to prove every recovery path, including bitwise
+  crash/resume equivalence.
+
+The trainer integration lives in :meth:`repro.core.RRRETrainer.fit`
+(``checkpoint_dir=``/``resume=``/``guard=``/``chaos=``) and in the CLI
+(``python -m repro train --checkpoint-dir … --resume``).
+"""
+
+from .chaos import ChaosEngine, FaultRecord, SimulatedCrash
+from .checkpoint import (
+    SCHEMA_VERSION,
+    CheckpointCorrupt,
+    CheckpointError,
+    CheckpointManager,
+    TrainState,
+    capture_rng_states,
+    check_config_compatible,
+    restore_rng_states,
+)
+from .guard import DivergenceError, DivergenceEvent, DivergenceGuard, DivergencePolicy
+
+__all__ = [
+    "ChaosEngine",
+    "CheckpointCorrupt",
+    "CheckpointError",
+    "CheckpointManager",
+    "DivergenceError",
+    "DivergenceEvent",
+    "DivergenceGuard",
+    "DivergencePolicy",
+    "FaultRecord",
+    "SCHEMA_VERSION",
+    "SimulatedCrash",
+    "TrainState",
+    "capture_rng_states",
+    "check_config_compatible",
+    "restore_rng_states",
+]

@@ -1,0 +1,178 @@
+"""Deterministic fault injection for testing recovery paths.
+
+A :class:`ChaosEngine` is a seeded schedule of faults addressed by
+training position — ``(epoch, step)`` for batch-level faults, ``epoch``
+for checkpoint writes — so the same engine configuration produces the
+same failure at the same point in every run.  That determinism is what
+lets the resilience tests assert *bitwise* crash/resume equivalence:
+the fault fires at a reproducible step, and everything the fault
+randomizes (which gradient entries turn NaN, which batch cells are
+corrupted) is drawn from the engine's own generator, never from the
+trainer's streams.
+
+Faults are one-shot by default (``times=1``) — a transient fault that
+recovery should survive — and can repeat (``times=n``) or never stop
+(``times=None``) to prove retry budgets are bounded.  The trainer calls
+the ``on_*`` hooks only when a chaos engine was passed to
+:meth:`repro.core.RRRETrainer.fit`; the hooks cost nothing otherwise.
+
+Supported faults:
+
+* :meth:`ChaosEngine.crash_at` — raise :class:`SimulatedCrash` before a
+  batch (a kill -9 stand-in; checkpoints must make it survivable);
+* :meth:`ChaosEngine.nan_grad_at` — overwrite a random fraction of
+  gradient entries with NaN after ``backward()`` (the divergence guard
+  must roll back);
+* :meth:`ChaosEngine.corrupt_batch_at` — replace batch ratings with
+  NaN (malformed data reaching the loss; guard again);
+* :meth:`ChaosEngine.fail_checkpoint_at` — make the checkpoint write of
+  an epoch raise ``OSError`` (training must continue, no partial files).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+
+class SimulatedCrash(RuntimeError):
+    """A chaos-injected process death; escapes ``fit`` on purpose."""
+
+
+@dataclass
+class _Fault:
+    kind: str
+    epoch: int
+    step: Optional[int]
+    payload: Dict[str, Any] = field(default_factory=dict)
+    #: Remaining firings; ``None`` = unlimited.
+    times: Optional[int] = 1
+
+    def matches(self, kind: str, epoch: int, step: Optional[int]) -> bool:
+        if self.kind != kind or self.epoch != epoch:
+            return False
+        if self.times is not None and self.times <= 0:
+            return False
+        return self.step is None or self.step == step
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault that actually fired (for test assertions)."""
+
+    kind: str
+    epoch: int
+    step: Optional[int]
+    detail: Dict[str, Any]
+
+
+class ChaosEngine:
+    """Seeded, deterministic fault injector for training runs."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+        self._faults: List[_Fault] = []
+        #: Chronological record of every fault that fired.
+        self.fired: List[FaultRecord] = []
+
+    # -- schedule builders (chainable) ---------------------------------
+    def crash_at(self, epoch: int, step: int = 1, times: Optional[int] = 1) -> "ChaosEngine":
+        """Simulate a process kill right before batch ``step`` of ``epoch``."""
+        self._faults.append(_Fault("crash", epoch, step, times=times))
+        return self
+
+    def nan_grad_at(
+        self,
+        epoch: int,
+        step: int = 1,
+        fraction: float = 0.05,
+        times: Optional[int] = 1,
+    ) -> "ChaosEngine":
+        """Poison a random ``fraction`` of gradient entries with NaN."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self._faults.append(
+            _Fault("nan_grad", epoch, step, {"fraction": fraction}, times=times)
+        )
+        return self
+
+    def corrupt_batch_at(
+        self,
+        epoch: int,
+        step: int = 1,
+        fraction: float = 0.25,
+        times: Optional[int] = 1,
+    ) -> "ChaosEngine":
+        """Replace a random ``fraction`` of batch ratings with NaN."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self._faults.append(
+            _Fault("corrupt_batch", epoch, step, {"fraction": fraction}, times=times)
+        )
+        return self
+
+    def fail_checkpoint_at(self, epoch: int, times: Optional[int] = 1) -> "ChaosEngine":
+        """Make the checkpoint write at the end of ``epoch`` fail."""
+        self._faults.append(_Fault("checkpoint_fail", epoch, None, times=times))
+        return self
+
+    # -- internal ------------------------------------------------------
+    def _take(self, kind: str, epoch: int, step: Optional[int]) -> Optional[_Fault]:
+        for fault in self._faults:
+            if fault.matches(kind, epoch, step):
+                if fault.times is not None:
+                    fault.times -= 1
+                return fault
+        return None
+
+    def _record(self, fault: _Fault, step: Optional[int], **detail: Any) -> None:
+        self.fired.append(
+            FaultRecord(kind=fault.kind, epoch=fault.epoch, step=step, detail=detail)
+        )
+
+    # -- trainer hook points -------------------------------------------
+    def on_batch(self, epoch: int, step: int, batch):
+        """Called before each batch's forward pass; may crash or corrupt.
+
+        Returns the batch to train on (possibly a corrupted copy).
+        """
+        fault = self._take("crash", epoch, step)
+        if fault is not None:
+            self._record(fault, step)
+            raise SimulatedCrash(f"chaos: simulated crash at epoch {epoch} step {step}")
+        fault = self._take("corrupt_batch", epoch, step)
+        if fault is not None:
+            ratings = np.array(batch.ratings, dtype=np.float64, copy=True)
+            count = max(1, int(round(fault.payload["fraction"] * len(ratings))))
+            cells = self._rng.choice(len(ratings), size=min(count, len(ratings)), replace=False)
+            ratings[cells] = np.nan
+            self._record(fault, step, corrupted=int(len(cells)))
+            return dataclasses.replace(batch, ratings=ratings)
+        return batch
+
+    def on_gradients(self, epoch: int, step: int, parameters) -> None:
+        """Called between ``backward()`` and the clip/guard/step sequence."""
+        fault = self._take("nan_grad", epoch, step)
+        if fault is None:
+            return
+        poisoned = 0
+        fraction = fault.payload["fraction"]
+        for param in parameters:
+            if param.grad is None:
+                continue
+            flat = param.grad.reshape(-1)
+            count = max(1, int(round(fraction * flat.size)))
+            cells = self._rng.choice(flat.size, size=min(count, flat.size), replace=False)
+            flat[cells] = np.nan
+            poisoned += int(len(cells))
+        self._record(fault, step, poisoned=poisoned)
+
+    def on_checkpoint(self, epoch: int) -> None:
+        """Checkpoint-write fault hook (see ``CheckpointManager.fault_hook``)."""
+        fault = self._take("checkpoint_fail", epoch, None)
+        if fault is not None:
+            self._record(fault, None)
+            raise OSError(f"chaos: checkpoint write failed at epoch {epoch}")

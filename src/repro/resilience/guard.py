@@ -1,0 +1,166 @@
+"""Divergence detection and rollback policy for the trainer.
+
+The guard is the *acting* counterpart of the passive
+:mod:`repro.obs.health` monitors: where a monitor raises an alert, the
+guard decides — per batch — whether the step about to be applied would
+poison the model (NaN/Inf loss, non-finite or exploding gradient norm)
+and, per epoch, whether a critical health alert warrants discarding the
+epoch.  :meth:`repro.core.RRRETrainer.fit` consults it *before*
+``optimizer.step()``, rolls back to the last good
+:class:`repro.resilience.TrainState`, backs off the learning rate, and
+retries; once :attr:`DivergenceGuard.exhausted`, the run fails with a
+structured :class:`DivergenceError` carrying every recorded event.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class DivergencePolicy:
+    """Thresholds and recovery knobs for :class:`DivergenceGuard`.
+
+    Attributes
+    ----------
+    max_retries:
+        Rollbacks allowed before the run fails with
+        :class:`DivergenceError`.
+    lr_backoff:
+        Multiplier applied to the learning rate after each rollback.
+    min_lr:
+        Floor the backoff never goes below.
+    max_grad_norm:
+        Hard ceiling on the pre-clip gradient norm; ``None`` disables
+        the explosion check (non-finite norms always trigger).
+    max_loss:
+        Hard ceiling on the batch loss; ``None`` disables it.
+    halt_on_health_critical:
+        Treat a critical :class:`repro.obs.HealthSuite` alert raised
+        during an epoch as a divergence (rolls the epoch back).
+    """
+
+    max_retries: int = 3
+    lr_backoff: float = 0.5
+    min_lr: float = 1e-7
+    max_grad_norm: Optional[float] = 1e4
+    max_loss: Optional[float] = 1e6
+    halt_on_health_critical: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if not 0.0 < self.lr_backoff < 1.0:
+            raise ValueError(f"lr_backoff must be in (0, 1), got {self.lr_backoff}")
+
+
+@dataclass(frozen=True)
+class DivergenceEvent:
+    """One detected divergence (and the rollback that answered it)."""
+
+    epoch: int
+    step: int
+    reason: str
+    value: float
+    lr_before: float
+    lr_after: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "step": self.step,
+            "reason": self.reason,
+            "value": self.value,
+            "lr_before": self.lr_before,
+            "lr_after": self.lr_after,
+        }
+
+
+class DivergenceError(RuntimeError):
+    """Raised when rollback retries are exhausted.
+
+    Carries the structured trail of everything the guard saw, so a
+    driver can log or persist the failure without parsing the message.
+    """
+
+    def __init__(self, message: str, events: List[DivergenceEvent]) -> None:
+        super().__init__(message)
+        self.events = list(events)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "error": str(self),
+            "events": [event.to_dict() for event in self.events],
+        }
+
+
+class DivergenceGuard:
+    """Stateful divergence detector with bounded-retry bookkeeping."""
+
+    def __init__(self, policy: Optional[DivergencePolicy] = None) -> None:
+        self.policy = policy or DivergencePolicy()
+        self.events: List[DivergenceEvent] = []
+        self.retries = 0
+
+    # -- detection -----------------------------------------------------
+    def check_batch(self, loss: float, grad_norm: float) -> Optional[str]:
+        """Reason the pending update must not be applied, or ``None``."""
+        if not math.isfinite(loss):
+            return "non_finite_loss"
+        if not math.isfinite(grad_norm):
+            return "non_finite_grad_norm"
+        policy = self.policy
+        if policy.max_grad_norm is not None and grad_norm > policy.max_grad_norm:
+            return "exploding_grad_norm"
+        if policy.max_loss is not None and loss > policy.max_loss:
+            return "loss_overflow"
+        return None
+
+    def check_health(self, alerts) -> Optional[str]:
+        """Reason to roll back the finished epoch, or ``None``.
+
+        ``alerts`` is the epoch's fresh :class:`repro.obs.HealthAlert`
+        list; only consulted when the policy opts in.
+        """
+        if not self.policy.halt_on_health_critical:
+            return None
+        if any(alert.severity == "critical" for alert in alerts):
+            return "health_critical"
+        return None
+
+    # -- recovery bookkeeping ------------------------------------------
+    def record(
+        self, epoch: int, step: int, reason: str, value: float, lr_before: float, lr_after: float
+    ) -> DivergenceEvent:
+        """Register one rollback; returns the structured event."""
+        event = DivergenceEvent(
+            epoch=epoch,
+            step=step,
+            reason=reason,
+            value=float(value),
+            lr_before=float(lr_before),
+            lr_after=float(lr_after),
+        )
+        self.events.append(event)
+        self.retries += 1
+        return event
+
+    @property
+    def exhausted(self) -> bool:
+        """True once another rollback would exceed ``max_retries``."""
+        return self.retries >= self.policy.max_retries
+
+    def backoff_lr(self, lr: float) -> float:
+        """The learning rate to use after the next rollback."""
+        return max(lr * self.policy.lr_backoff, self.policy.min_lr)
+
+    def raise_exhausted(self, epoch: int, reason: str, value: float) -> None:
+        """Fail the run with the full structured event trail."""
+        raise DivergenceError(
+            f"divergence at epoch {epoch} ({reason}, value={value!r}): retry "
+            f"budget of {self.policy.max_retries} exhausted "
+            f"({len(self.events)} divergence event(s) recorded)",
+            self.events,
+        )

@@ -78,3 +78,82 @@ class TestErrorHandling:
         path.write_text(content)
         restored = load_dataset_jsonl(path)
         assert len(restored) == len(dataset)
+
+
+def write_mixed_file(path, dataset, bad_lines):
+    """A valid dump with ``bad_lines`` raw strings spliced in after the header."""
+    save_dataset_jsonl(dataset, path)
+    lines = path.read_text().splitlines()
+    body = lines[:1] + bad_lines + lines[1:]
+    path.write_text("\n".join(body) + "\n")
+
+
+class TestGracefulDegradation:
+    def test_bad_lines_skipped_within_tolerance(self, dataset, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        write_mixed_file(path, dataset, ["not json", json.dumps({"u": 0})])
+        restored = load_dataset_jsonl(path, max_bad_lines=2)
+        assert len(restored) == len(dataset)
+
+    def test_strict_by_default(self, dataset, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        write_mixed_file(path, dataset, ["not json"])
+        with pytest.raises(ValueError, match="malformed"):
+            load_dataset_jsonl(path)
+
+    def test_exceeding_tolerance_raises(self, dataset, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        write_mixed_file(path, dataset, ["x", "y", "z"])
+        with pytest.raises(ValueError, match="exceeds tolerance"):
+            load_dataset_jsonl(path, max_bad_lines=2)
+
+    def test_quarantine_sidecar_written(self, dataset, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        write_mixed_file(path, dataset, ["broken line", json.dumps({"u": 3})])
+        load_dataset_jsonl(path, max_bad_lines=5)
+        sidecar = tmp_path / "mixed.jsonl.quarantine"
+        records = [json.loads(l) for l in sidecar.read_text().splitlines()]
+        assert [r["line"] for r in records] == [2, 3]
+        assert records[0]["raw"] == "broken line"
+        assert all("error" in r for r in records)
+
+    def test_quarantine_path_override(self, dataset, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        write_mixed_file(path, dataset, ["oops"])
+        sidecar = tmp_path / "custom.bad"
+        load_dataset_jsonl(path, max_bad_lines=1, quarantine=sidecar)
+        assert sidecar.exists()
+
+    def test_no_sidecar_when_clean(self, dataset, tmp_path):
+        path = tmp_path / "clean.jsonl"
+        save_dataset_jsonl(dataset, path)
+        load_dataset_jsonl(path, max_bad_lines=5)
+        assert not (tmp_path / "clean.jsonl.quarantine").exists()
+
+    def test_non_finite_rating_quarantined(self, dataset, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        save_dataset_jsonl(dataset, path)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["r"] = float("nan")
+        lines.insert(1, json.dumps(record))
+        path.write_text("\n".join(lines) + "\n")
+        restored = load_dataset_jsonl(path, max_bad_lines=1)
+        assert len(restored) == len(dataset)
+
+    def test_negative_tolerance_rejected(self, dataset, tmp_path):
+        path = tmp_path / "ds.jsonl"
+        save_dataset_jsonl(dataset, path)
+        with pytest.raises(ValueError):
+            load_dataset_jsonl(path, max_bad_lines=-1)
+
+    def test_skipped_lines_counted_on_metrics(self, dataset, tmp_path):
+        from repro.obs.metrics import MetricsRegistry, use_metrics
+
+        path = tmp_path / "mixed.jsonl"
+        write_mixed_file(path, dataset, ["junk", "more junk"])
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            load_dataset_jsonl(path, max_bad_lines=2)
+        snapshot = registry.snapshot()
+        assert "repro_quarantined_lines_total" in snapshot

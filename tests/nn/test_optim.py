@@ -110,3 +110,121 @@ class TestClipGradNorm:
     def test_handles_missing_grads(self):
         p = nn.Parameter(np.zeros(2))
         assert clip_grad_norm([p], max_norm=1.0) == 0.0
+
+
+def step_n(opt, params, steps, seed=0):
+    """Drive ``steps`` updates with deterministic pseudo-gradients."""
+    rng = np.random.default_rng(seed)
+    for _ in range(steps):
+        for p in params:
+            p.grad = rng.normal(size=p.data.shape)
+        opt.step()
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda ps: nn.SGD(ps, lr=0.05, momentum=0.9, weight_decay=1e-4),
+        lambda ps: nn.Adam(ps, lr=0.01, weight_decay=1e-4),
+        lambda ps: nn.RMSprop(ps, lr=0.01),
+    ],
+    ids=["sgd", "adam", "rmsprop"],
+)
+class TestOptimizerStateDict:
+    def test_roundtrip_continues_identically(self, factory):
+        """Restore after k steps, continue — bitwise-equal to never stopping."""
+        a = [nn.Parameter(np.linspace(-1, 1, 6).reshape(2, 3))]
+        b = [nn.Parameter(np.linspace(-1, 1, 6).reshape(2, 3))]
+        ref, opt = factory(a), factory(b)
+        step_n(ref, a, 5)
+        step_n(opt, b, 3)
+        saved = opt.state_dict()
+
+        fresh = [nn.Parameter(np.array(b[0].data))]
+        resumed = factory(fresh)
+        resumed.load_state_dict(saved)
+        # Replay the same tail gradients the reference saw on steps 4-5.
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            rng.normal(size=(2, 3))
+        for _ in range(2):
+            fresh[0].grad = rng.normal(size=(2, 3))
+            resumed.step()
+
+        np.testing.assert_array_equal(fresh[0].data, a[0].data)
+
+    def test_state_dict_is_a_copy(self, factory):
+        params = [nn.Parameter(np.ones(4))]
+        opt = factory(params)
+        step_n(opt, params, 2)
+        saved = opt.state_dict()
+        step_n(opt, params, 2)
+        reloaded = factory([nn.Parameter(np.ones(4))])
+        reloaded.load_state_dict(saved)  # mutating opt did not corrupt `saved`
+        assert reloaded.state_dict()["lr"] == saved["lr"]
+
+    def test_missing_key_rejected(self, factory):
+        params = [nn.Parameter(np.ones(2))]
+        opt = factory(params)
+        state = opt.state_dict()
+        del state["lr"]
+        with pytest.raises(KeyError):
+            factory([nn.Parameter(np.ones(2))]).load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self, factory):
+        opt = factory([nn.Parameter(np.ones(3))])
+        step_n(opt, opt.parameters, 1)
+        state = opt.state_dict()
+        with pytest.raises(ValueError):
+            factory([nn.Parameter(np.ones(5))]).load_state_dict(state)
+
+    def test_param_count_mismatch_rejected(self, factory):
+        opt = factory([nn.Parameter(np.ones(2))])
+        state = opt.state_dict()
+        two = factory([nn.Parameter(np.ones(2)), nn.Parameter(np.ones(2))])
+        with pytest.raises(ValueError):
+            two.load_state_dict(state)
+
+
+class TestStateDictStrictness:
+    def test_wrong_optimizer_type_rejected(self):
+        sgd = nn.SGD([nn.Parameter(np.ones(2))], lr=0.1)
+        adam = nn.Adam([nn.Parameter(np.ones(2))], lr=0.1)
+        with pytest.raises(ValueError, match="SGD"):
+            sgd.load_state_dict(adam.state_dict())
+
+    def test_unexpected_key_rejected(self):
+        opt = nn.Adam([nn.Parameter(np.ones(2))], lr=0.1)
+        state = opt.state_dict()
+        state["surprise"] = 1
+        with pytest.raises(ValueError, match="surprise"):
+            nn.Adam([nn.Parameter(np.ones(2))], lr=0.1).load_state_dict(state)
+
+    def test_adam_step_count_restored(self):
+        params = [nn.Parameter(np.ones(2))]
+        opt = nn.Adam(params, lr=0.1)
+        step_n(opt, params, 4)
+        restored = nn.Adam([nn.Parameter(np.ones(2))], lr=0.1)
+        restored.load_state_dict(opt.state_dict())
+        assert restored.state_dict()["hyper"]["step_count"] == 4
+
+
+class TestClipGradNormNonFinite:
+    def test_inf_norm_returned_unscaled(self):
+        p = nn.Parameter(np.zeros(2))
+        p.grad = np.array([np.inf, 1.0])
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert np.isinf(norm)
+        # Gradients are left untouched — no silent zeroing.
+        assert np.isinf(p.grad[0]) and p.grad[1] == 1.0
+
+    def test_nan_norm_reported(self):
+        p = nn.Parameter(np.zeros(2))
+        p.grad = np.array([np.nan, 1.0])
+        assert np.isnan(clip_grad_norm([p], max_norm=1.0))
+
+    def test_error_if_nonfinite_raises(self):
+        p = nn.Parameter(np.zeros(1))
+        p.grad = np.array([np.nan])
+        with pytest.raises(ValueError, match="non-finite"):
+            clip_grad_norm([p], max_norm=1.0, error_if_nonfinite=True)

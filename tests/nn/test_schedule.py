@@ -97,3 +97,54 @@ class TestEarlyStopping:
             nn.EarlyStopping(patience=0)
         with pytest.raises(ValueError):
             nn.EarlyStopping(mode="avg")
+
+
+class TestSchedulerState:
+    def test_roundtrip_reapplies_rate(self):
+        source = nn.StepLR(make_optimizer(), step_size=2, gamma=0.5)
+        for _ in range(3):
+            source.step()
+        target = nn.StepLR(make_optimizer(), step_size=2, gamma=0.5)
+        target.load_state_dict(source.state_dict())
+        assert target.epoch == 3
+        assert target.optimizer.lr == source.optimizer.lr
+        target.step()
+        source.step()
+        assert target.optimizer.lr == source.optimizer.lr
+
+    def test_missing_key_rejected(self):
+        sched = nn.StepLR(make_optimizer(), step_size=2)
+        with pytest.raises(KeyError):
+            sched.load_state_dict({"epoch": 1})
+
+    def test_unexpected_key_rejected(self):
+        sched = nn.ExponentialLR(make_optimizer(), gamma=0.9)
+        with pytest.raises(ValueError):
+            sched.load_state_dict({"epoch": 1, "base_lr": 0.1, "bogus": 1})
+
+    def test_fresh_state_does_not_touch_lr(self):
+        optimizer = make_optimizer(lr=0.25)
+        sched = nn.CosineAnnealingLR(make_optimizer(lr=0.25), total_epochs=10)
+        sched.optimizer = optimizer
+        sched.load_state_dict({"epoch": 0, "base_lr": 0.25})
+        assert optimizer.lr == 0.25
+
+
+class TestEarlyStoppingState:
+    def test_roundtrip_preserves_patience_budget(self):
+        source = nn.EarlyStopping(patience=2)
+        for value in [1.0, 0.5, 0.6]:  # one bad epoch consumed
+            source.update(value)
+        target = nn.EarlyStopping(patience=2)
+        target.load_state_dict(source.state_dict())
+        assert target.best == 0.5
+        assert target.update(0.7)  # second bad epoch exhausts patience
+
+    def test_strict_keys(self):
+        stopper = nn.EarlyStopping(patience=1)
+        with pytest.raises(KeyError):
+            stopper.load_state_dict({"best": 1.0})
+        with pytest.raises(ValueError):
+            stopper.load_state_dict(
+                {"best": 1.0, "best_epoch": 1, "epoch": 1, "bad_epochs": 0, "x": 1}
+            )

@@ -1,0 +1,32 @@
+"""Shared fixtures for the resilience suite: a tiny but real RRRE run."""
+
+import pytest
+
+from repro.core import RRRETrainer, fast_config
+from repro.data import load_dataset, train_test_split
+
+#: Epochs used by every trainer-level resilience test.
+EPOCHS = 3
+
+
+def tiny_config(**overrides):
+    """A seconds-scale config shared by the resilience tests."""
+    defaults = dict(epochs=EPOCHS)
+    defaults.update(overrides)
+    return fast_config(**defaults)
+
+
+@pytest.fixture(scope="package")
+def splits():
+    """One small dataset shared across the package (read-only)."""
+    dataset = load_dataset("yelpchi", seed=0, scale=0.1)
+    train, test = train_test_split(dataset, seed=0)
+    return dataset, train, test
+
+
+def fit_uninterrupted(splits, **fit_kwargs):
+    """A plain seeded run — the reference every recovery test compares to."""
+    dataset, train, test = splits
+    trainer = RRRETrainer(tiny_config())
+    trainer.fit(dataset, train, test, **fit_kwargs)
+    return trainer

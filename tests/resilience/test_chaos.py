@@ -1,0 +1,112 @@
+"""The chaos harness itself must be deterministic and precisely aimed."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset, train_test_split
+from repro.data.batching import iter_batches
+from repro.resilience import ChaosEngine, SimulatedCrash
+
+
+def first_batch():
+    dataset = load_dataset("yelpchi", seed=0, scale=0.1)
+    train, _ = train_test_split(dataset, seed=0)
+    return next(iter_batches(train, 32, shuffle=False))
+
+
+class TestCrash:
+    def test_fires_only_at_target(self):
+        chaos = ChaosEngine().crash_at(epoch=2, step=3)
+        batch = first_batch()
+        assert chaos.on_batch(1, 3, batch) is batch
+        assert chaos.on_batch(2, 2, batch) is batch
+        with pytest.raises(SimulatedCrash):
+            chaos.on_batch(2, 3, batch)
+
+    def test_one_shot_by_default(self):
+        chaos = ChaosEngine().crash_at(epoch=1, step=1)
+        batch = first_batch()
+        with pytest.raises(SimulatedCrash):
+            chaos.on_batch(1, 1, batch)
+        # Replaying the same step (post-rollback) does not re-fire.
+        assert chaos.on_batch(1, 1, batch) is batch
+        assert len(chaos.fired) == 1
+
+    def test_unlimited_refires(self):
+        chaos = ChaosEngine().crash_at(epoch=1, step=1, times=None)
+        batch = first_batch()
+        for _ in range(3):
+            with pytest.raises(SimulatedCrash):
+                chaos.on_batch(1, 1, batch)
+
+
+class TestCorruptBatch:
+    def test_deterministic_given_seed(self):
+        batch = first_batch()
+        out = []
+        for _ in range(2):
+            chaos = ChaosEngine(seed=9).corrupt_batch_at(epoch=1, step=1, fraction=0.5)
+            out.append(chaos.on_batch(1, 1, batch).ratings)
+        np.testing.assert_array_equal(out[0], out[1])
+        assert np.isnan(out[0]).sum() == round(0.5 * len(batch.ratings))
+
+    def test_original_batch_untouched(self):
+        batch = first_batch()
+        before = batch.ratings.copy()
+        chaos = ChaosEngine(seed=1).corrupt_batch_at(epoch=1, step=1)
+        corrupted = chaos.on_batch(1, 1, batch)
+        np.testing.assert_array_equal(batch.ratings, before)
+        assert np.isnan(corrupted.ratings).any()
+        # Only ratings change; the identifying columns are shared.
+        np.testing.assert_array_equal(corrupted.user_ids, batch.user_ids)
+
+
+class TestNanGrad:
+    def test_poisons_gradients_deterministically(self):
+        class P:
+            def __init__(self):
+                self.grad = np.zeros(40)
+
+        marks = []
+        for _ in range(2):
+            params = [P(), P()]
+            chaos = ChaosEngine(seed=3).nan_grad_at(epoch=1, step=2, fraction=0.1)
+            chaos.on_gradients(1, 2, params)
+            marks.append(np.concatenate([np.isnan(p.grad) for p in params]))
+        np.testing.assert_array_equal(marks[0], marks[1])
+        assert marks[0].sum() == 8  # 10% of each 40-entry gradient
+
+    def test_skips_missing_gradients(self):
+        class P:
+            grad = None
+
+        chaos = ChaosEngine().nan_grad_at(epoch=1, step=1)
+        chaos.on_gradients(1, 1, [P()])
+        assert chaos.fired[0].detail["poisoned"] == 0
+
+
+class TestCheckpointFault:
+    def test_fires_once_per_budget(self):
+        chaos = ChaosEngine().fail_checkpoint_at(epoch=2)
+        chaos.on_checkpoint(1)
+        with pytest.raises(OSError):
+            chaos.on_checkpoint(2)
+        chaos.on_checkpoint(2)  # budget spent
+        assert [f.kind for f in chaos.fired] == ["checkpoint_fail"]
+
+
+class TestValidation:
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosEngine().nan_grad_at(1, 1, fraction=0.0)
+        with pytest.raises(ValueError):
+            ChaosEngine().corrupt_batch_at(1, 1, fraction=1.5)
+
+    def test_fired_records_are_frozen(self):
+        chaos = ChaosEngine().crash_at(epoch=1, step=1)
+        with pytest.raises(SimulatedCrash):
+            chaos.on_batch(1, 1, first_batch())
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            chaos.fired[0].kind = "other"

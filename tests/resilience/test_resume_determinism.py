@@ -1,0 +1,117 @@
+"""Crash/resume must be invisible: bitwise-equal final models.
+
+The acceptance bar of the resilience runtime — a run killed mid-epoch by
+the chaos harness and resumed from its checkpoints produces exactly the
+same final ``state_dict`` and eval metrics as the same seeded run left
+alone.  "Exactly" means bitwise: the checkpoint restores the model, the
+Adam moments, and every RNG stream (batch shuffling + dropout), so the
+replayed epochs traverse identical numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RRRETrainer
+from repro.resilience import ChaosEngine, CheckpointError, SimulatedCrash
+
+from .conftest import EPOCHS, fit_uninterrupted, tiny_config
+
+
+def assert_states_equal(expected, actual):
+    assert sorted(expected) == sorted(actual)
+    for key in expected:
+        np.testing.assert_array_equal(actual[key], expected[key], err_msg=key)
+
+
+@pytest.fixture(scope="module")
+def reference(splits):
+    """The uninterrupted seeded run every scenario compares against."""
+    trainer = fit_uninterrupted(splits)
+    return trainer.model.state_dict(), trainer.history
+
+
+class TestCheckpointTransparency:
+    def test_checkpointing_does_not_perturb_training(self, splits, reference, tmp_path):
+        trainer = fit_uninterrupted(splits, checkpoint_dir=tmp_path, guard=True)
+        assert_states_equal(reference[0], trainer.model.state_dict())
+
+
+@pytest.mark.parametrize("crash_epoch,crash_step", [(1, 2), (2, 1), (EPOCHS, 2)])
+class TestCrashResume:
+    def test_bitwise_equal_after_resume(
+        self, splits, reference, tmp_path, crash_epoch, crash_step
+    ):
+        dataset, train, test = splits
+        chaos = ChaosEngine(seed=0).crash_at(epoch=crash_epoch, step=crash_step)
+        victim = RRRETrainer(tiny_config())
+        with pytest.raises(SimulatedCrash):
+            victim.fit(
+                dataset, train, test, checkpoint_dir=tmp_path, chaos=chaos
+            )
+        assert chaos.fired, "the crash fault never fired"
+
+        resumed = RRRETrainer(tiny_config())
+        resumed.fit(dataset, train, test, checkpoint_dir=tmp_path, resume=True)
+
+        expected_state, expected_history = reference
+        assert_states_equal(expected_state, resumed.model.state_dict())
+        assert len(resumed.history) == EPOCHS
+        assert resumed.history[-1].eval_metrics == expected_history[-1].eval_metrics
+        # The restored prefix of the history matches too (bitwise losses).
+        for ours, theirs in zip(resumed.history, expected_history):
+            assert ours.train_loss == theirs.train_loss
+            assert ours.eval_metrics == theirs.eval_metrics
+
+
+class TestResumeSemantics:
+    def test_resume_requires_checkpoint_dir(self, splits):
+        dataset, train, test = splits
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            RRRETrainer(tiny_config()).fit(dataset, train, test, resume=True)
+
+    def test_resume_from_empty_dir_trains_from_scratch(
+        self, splits, reference, tmp_path
+    ):
+        trainer = fit_uninterrupted(
+            splits, checkpoint_dir=tmp_path / "fresh", resume=True
+        )
+        assert_states_equal(reference[0], trainer.model.state_dict())
+
+    def test_resume_rejects_incompatible_config(self, splits, tmp_path):
+        dataset, train, test = splits
+        fit_uninterrupted(splits, checkpoint_dir=tmp_path)
+        other = RRRETrainer(tiny_config(review_dim=16))
+        with pytest.raises(CheckpointError, match="review_dim"):
+            other.fit(dataset, train, test, checkpoint_dir=tmp_path, resume=True)
+
+    def test_resume_extends_epoch_budget(self, splits, tmp_path):
+        dataset, train, test = splits
+        fit_uninterrupted(splits, checkpoint_dir=tmp_path)
+        longer = RRRETrainer(tiny_config(epochs=EPOCHS + 1))
+        longer.fit(dataset, train, test, checkpoint_dir=tmp_path, resume=True)
+        assert len(longer.history) == EPOCHS + 1
+        assert [record.epoch for record in longer.history] == list(
+            range(1, EPOCHS + 2)
+        )
+
+    def test_completed_run_resume_is_a_noop(self, splits, reference, tmp_path):
+        fit_uninterrupted(splits, checkpoint_dir=tmp_path)
+        again = fit_uninterrupted(splits, checkpoint_dir=tmp_path, resume=True)
+        assert_states_equal(reference[0], again.model.state_dict())
+        assert len(again.history) == EPOCHS
+
+
+class TestFailingCheckpointWrites:
+    def test_training_survives_and_later_checkpoints_land(self, splits, tmp_path):
+        dataset, train, test = splits
+        chaos = ChaosEngine(seed=0).fail_checkpoint_at(epoch=1)
+        trainer = RRRETrainer(tiny_config())
+        trainer.fit(
+            dataset, train, test, checkpoint_dir=tmp_path, chaos=chaos
+        )
+        assert len(trainer.history) == EPOCHS
+        stems = sorted(p.stem for p in tmp_path.glob("ckpt-*.json"))
+        assert "ckpt-000001" not in stems  # the failed write
+        assert f"ckpt-{EPOCHS:06d}" in stems  # later ones landed
+        hidden = [p.name for p in tmp_path.iterdir() if p.name.startswith(".")]
+        assert hidden == []  # no partial temp files either
