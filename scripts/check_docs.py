@@ -33,6 +33,17 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: Markdown files scanned, relative to the repository root.
 DOC_GLOBS = ("README.md", "docs/*.md")
 
+#: Documents that MUST exist — a rename or deletion fails the lint
+#: instead of silently shrinking coverage.
+REQUIRED_DOCS = (
+    "README.md",
+    "docs/architecture.md",
+    "docs/nn_api.md",
+    "docs/observability.md",
+    "docs/resilience.md",
+    "docs/analysis.md",
+)
+
 #: A dotted name rooted at the package, e.g. ``repro.nn.functional.relu``.
 DOTTED_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
 
@@ -143,9 +154,18 @@ def check_file(path: Path, root: Path = REPO_ROOT) -> List[str]:
     return problems
 
 
-def check_repo(root: Path = REPO_ROOT) -> List[str]:
-    """Lint every covered markdown file; returns all problems."""
+def check_repo(root: Path = REPO_ROOT, required: Tuple[str, ...] = None) -> List[str]:
+    """Lint every covered markdown file; returns all problems.
+
+    ``required`` defaults to :data:`REQUIRED_DOCS` when linting the real
+    repository and to nothing for ad-hoc roots (the linter's own tests).
+    """
+    if required is None:
+        required = REQUIRED_DOCS if root == REPO_ROOT else ()
     problems: List[str] = []
+    for name in required:
+        if not (root / name).exists():
+            problems.append(f"{name}: required document is missing")
     for path in doc_files(root):
         problems.extend(check_file(path, root))
     return problems

@@ -13,6 +13,9 @@
 #      resume from the surviving checkpoints (exercising the CLI
 #      --checkpoint-dir/--resume path too), and assert the resumed
 #      model is bitwise identical to an uninterrupted reference run.
+#   5. static analysis — repo discipline lint over src/repro plus a
+#      symbolic shape check of the default training config; any
+#      violation fails the build (see docs/analysis.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -101,5 +104,19 @@ python -m repro train --dataset yelpchi --scale 0.15 --epochs 3 \
     --checkpoint-dir "$SMOKE_DIR/cli-ckpts" --resume > "$SMOKE_DIR/cli-resume.log"
 grep -q "resumed" "$SMOKE_DIR/cli-resume.log" \
     || { echo "CLI resume did not report a restored checkpoint"; exit 1; }
+
+echo "== static analysis =="
+python -m repro analyze --lint src/repro
+python -m repro analyze --shapes --report-json "$SMOKE_DIR/analysis.json"
+python - "$SMOKE_DIR" <<'PY'
+import json, sys
+from pathlib import Path
+
+payload = json.loads((Path(sys.argv[1]) / "analysis.json").read_text())
+assert payload["ok"] and not payload["failed_passes"], payload
+shapes = payload["passes"]["shapes"]["shapes"]
+assert shapes["rating"] == "(B) float64", shapes
+print("analysis OK:", len(shapes), "named activations validated")
+PY
 
 echo "== CI green =="

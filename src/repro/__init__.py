@@ -24,6 +24,10 @@ Subpackages
 ``repro.resilience``
     Fault tolerance: atomic checkpoint/resume, divergence rollback,
     deterministic chaos testing (see ``docs/resilience.md``).
+``repro.analysis``
+    Static analysis: symbolic shape checking, autograd-graph
+    validation, per-layer gradient checks, and the repo discipline
+    linter (see ``docs/analysis.md``).
 
 Quickstart
 ----------
@@ -37,9 +41,10 @@ Quickstart
 
 __version__ = "1.0.0"
 
-from . import baselines, core, data, eval, metrics, nn, obs, resilience, text
+from . import analysis, baselines, core, data, eval, metrics, nn, obs, resilience, text
 
 __all__ = [
+    "analysis",
     "baselines",
     "core",
     "data",

@@ -15,6 +15,9 @@ Usage::
     python -m repro train --checkpoint-dir ckpts --resume  # continue a run
     python -m repro watch run.jsonl        # render the event stream
     python -m repro watch run.jsonl --follow  # live-tail a running fit
+    python -m repro analyze                # all four static-analysis passes
+    python -m repro analyze --lint src/repro  # repo discipline linter only
+    python -m repro analyze --shapes --graph  # config + autograd validation
 
 ``train`` fits RRRE once with full telemetry (per-layer forward/backward
 timings, gradient norms, phase timers — see ``docs/observability.md``)
@@ -25,6 +28,13 @@ the metrics registry in Prometheus text format next to it.  ``watch``
 renders such an event file as a live status board.  For table/figure
 experiments ``--report-json`` dumps the regenerated artifact's raw
 numbers instead.
+
+``analyze`` runs the static-analysis suite (see ``docs/analysis.md``):
+symbolic shape validation of the default config, autograd-graph
+validation of one real forward, finite-difference gradient checks of
+every ``repro.nn`` layer, and the repo discipline linter.  Pick passes
+with ``--shapes/--graph/--gradcheck/--lint`` (default: all four); the
+exit code is non-zero when any selected pass fails.
 """
 
 from __future__ import annotations
@@ -75,15 +85,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "train", "watch"],
+        choices=sorted(EXPERIMENTS) + ["all", "analyze", "list", "train", "watch"],
         help="which artifact to regenerate ('train' for one profiled fit, "
-        "'watch' to render a trace event file)",
+        "'watch' to render a trace event file, 'analyze' for the "
+        "static-analysis suite)",
     )
     parser.add_argument(
         "path",
         nargs="?",
         default=None,
-        help="event file for 'watch' (JSONL written by train --events)",
+        help="event file for 'watch' (JSONL written by train --events), "
+        "or the lint target for 'analyze --lint' (default: src/repro)",
     )
     parser.add_argument("--scale", type=float, default=0.5, help="dataset scale")
     parser.add_argument("--seeds", type=int, default=2, help="number of seeds")
@@ -137,6 +149,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="for 'train': checkpoint every N epochs (default 1)",
+    )
+    parser.add_argument(
+        "--shapes",
+        action="store_true",
+        help="for 'analyze': symbolic shape check of the default config",
+    )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="for 'analyze': autograd-graph validation of one real forward",
+    )
+    parser.add_argument(
+        "--gradcheck",
+        action="store_true",
+        help="for 'analyze': finite-difference gradient checks of every layer",
+    )
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="for 'analyze': run the repo discipline linter (rules: "
+        "RNG001/RNG002/TIME001/DTYPE001/MUT001)",
     )
     parser.add_argument(
         "--follow",
@@ -259,11 +292,133 @@ def run_train(
         print(f"\nwrote {path}")
 
 
+def run_analyze(
+    shapes: bool,
+    graph: bool,
+    gradcheck: bool,
+    lint: bool,
+    path: Optional[str] = None,
+    report_json: Optional[str] = None,
+) -> int:
+    """Run the selected static-analysis passes (all four when none given).
+
+    Prints one summary block per pass and returns a non-zero exit code
+    when any selected pass fails, so CI can gate on it.  ``path`` is the
+    lint target (default ``src/repro``); ``report_json`` writes the full
+    machine-readable results.
+    """
+    from .analysis import (
+        PreflightError,
+        check_shapes,
+        lint_paths,
+        preflight,
+        run_layer_gradchecks,
+    )
+    from .core.config import RRREConfig
+
+    if not (shapes or graph or gradcheck or lint):
+        shapes = graph = gradcheck = lint = True
+    passes: Dict[str, dict] = {}
+    failed = []
+
+    if shapes:
+        report = check_shapes(RRREConfig(), strict=False)
+        passes["shapes"] = report.to_dict()
+        if report.ok:
+            print(f"shapes: OK ({len(report.shapes)} named activations)")
+            for name, spec in report.shapes.items():
+                print(f"  {name:24s} {spec}")
+        else:
+            print(f"shapes: FAIL\n  {report.error}")
+            failed.append("shapes")
+
+    if graph:
+        from .core.model import RRRE
+        from .data import InputSlots, ReviewTextTable, load_dataset, train_test_split
+
+        cfg = RRREConfig(epochs=1)
+        dataset = load_dataset("yelpchi", seed=0, scale=0.1)
+        train, _ = train_test_split(dataset, seed=0)
+        table = ReviewTextTable.build(
+            dataset,
+            max_len=cfg.max_len,
+            min_count=cfg.min_word_count,
+            max_vocab=cfg.max_vocab,
+        )
+        slots = InputSlots.build(train, s_u=cfg.s_u, s_i=cfg.s_i)
+        model = RRRE(
+            cfg,
+            num_users=dataset.num_users,
+            num_items=dataset.num_items,
+            vocab_size=len(table.vocab),
+        )
+        try:
+            result = preflight(model, slots, table, mode="strict")
+            info = result["graph"]
+            print(
+                f"graph: OK ({info['num_nodes']} tape nodes, "
+                f"{info['reachable_parameters']}/{info['num_parameters']} "
+                f"parameters reachable, {len(info['issues'])} warning(s))"
+            )
+            passes["graph"] = result
+        except PreflightError as err:
+            print(f"graph: FAIL\n  {err}")
+            passes["graph"] = {"ok": False, "error": str(err)}
+            failed.append("graph")
+
+    if gradcheck:
+        results = run_layer_gradchecks(max_elements=50)
+        passes["gradcheck"] = {name: r.to_dict() for name, r in results.items()}
+        bad = [name for name, r in results.items() if not r.ok]
+        worst = max(r.max_rel_err for r in results.values())
+        if bad:
+            print(f"gradcheck: FAIL ({', '.join(sorted(bad))})")
+            for name in sorted(bad):
+                for failure in results[name].failures[:3]:
+                    print(f"  {name}: {failure}")
+            failed.append("gradcheck")
+        else:
+            print(
+                f"gradcheck: OK ({len(results)} layers, "
+                f"max relative error {worst:.3g})"
+            )
+
+    if lint:
+        target = path or "src/repro"
+        report = lint_paths([target])
+        passes["lint"] = report.to_dict()
+        if report.ok:
+            print(f"lint: OK ({report.files_checked} files under {target})")
+        else:
+            print(f"lint: FAIL ({len(report.violations)} violation(s))")
+            for violation in report.violations:
+                print(f"  {violation}")
+            failed.append("lint")
+
+    if report_json:
+        from .obs.report import SCHEMA_VERSION, _jsonable
+
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "ok": not failed,
+            "failed_passes": failed,
+            "passes": _jsonable(passes),
+        }
+        with open(report_json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {report_json}")
+    return 1 if failed else 0
+
+
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+    # Intermixed parsing lets the optional positional follow flags, as in
+    # ``python -m repro analyze --lint src/repro``.
+    args = build_parser().parse_intermixed_args(argv)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
+        print("analyze")
         print("train")
         print("watch")
         return 0
@@ -284,6 +439,15 @@ def main(argv=None) -> int:
             checkpoint_every=args.checkpoint_every,
         )
         return 0
+    if args.experiment == "analyze":
+        return run_analyze(
+            args.shapes,
+            args.graph,
+            args.gradcheck,
+            args.lint,
+            path=args.path,
+            report_json=args.report_json,
+        )
     if args.experiment == "watch":
         if not args.path:
             print("watch needs an event file: python -m repro watch run.jsonl", file=sys.stderr)

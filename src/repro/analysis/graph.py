@@ -1,0 +1,357 @@
+"""Autograd-graph validation over a recorded tape.
+
+:func:`validate_graph` walks the tape hanging off a loss tensor (any
+tensor produced by a tracer-mode forward pass) and reports structural
+problems *before* they corrupt a training run:
+
+* **dead parameters** — parameters with no gradient path to the loss
+  (never updated, silently frozen);
+* **accidental detachment** — a tensor that was ``.detach()``-ed from a
+  gradient-requiring subgraph sits on the path (provenance recorded by
+  :meth:`repro.nn.Tensor.detach`);
+* **non-finite values / non-finite-prone ops** — NaN/Inf payloads, and
+  ``log``/``div``/``sqrt``/``exp`` nodes whose inputs sit in the danger
+  zone;
+* **dropout active in eval** (and mode inconsistencies generally);
+* **in-place mutation** of tape-recorded arrays between forward and
+  backward, caught by :class:`~repro.nn.Tensor` version counters plus
+  content fingerprints (:class:`GraphSnapshot`), and attributed to the
+  mutating ``file:line`` when :func:`track_mutation_sites` is active.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Dropout
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, _topological_order, set_mutation_site_tracking
+
+__all__ = [
+    "GraphIssue",
+    "GraphReport",
+    "GraphSnapshot",
+    "snapshot_graph",
+    "track_mutation_sites",
+    "validate_graph",
+]
+
+#: Ops whose gradient (or value) explodes near singular inputs, keyed by
+#: grad_fn name → (which parent to inspect, predicate description).
+_NONFINITE_PRONE = ("log", "div", "sqrt", "power", "exp")
+
+
+@contextmanager
+def track_mutation_sites():
+    """Record ``file:line`` for every ``Tensor.data`` rebind in the block.
+
+    Off by default because the capture costs a frame lookup per
+    assignment; wrap only analysis/debug passes, not training loops.
+    """
+    previous = set_mutation_site_tracking(True)
+    try:
+        yield
+    finally:
+        set_mutation_site_tracking(previous)
+
+
+@dataclass
+class GraphIssue:
+    """One problem found in an autograd graph."""
+
+    code: str
+    severity: str  # "error" | "warning"
+    message: str
+    node: str = ""
+
+    def __str__(self) -> str:
+        where = f" [{self.node}]" if self.node else ""
+        return f"{self.severity}:{self.code}: {self.message}{where}"
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "node": self.node,
+        }
+
+
+@dataclass
+class GraphReport:
+    """Outcome of :func:`validate_graph`."""
+
+    issues: List[GraphIssue] = field(default_factory=list)
+    num_nodes: int = 0
+    num_parameters: int = 0
+    reachable_parameters: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity issue was found."""
+        return not any(issue.severity == "error" for issue in self.issues)
+
+    @property
+    def errors(self) -> List[GraphIssue]:
+        return [i for i in self.issues if i.severity == "error"]
+
+    @property
+    def warnings(self) -> List[GraphIssue]:
+        return [i for i in self.issues if i.severity == "warning"]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "num_nodes": self.num_nodes,
+            "num_parameters": self.num_parameters,
+            "reachable_parameters": self.reachable_parameters,
+            "issues": [issue.to_dict() for issue in self.issues],
+        }
+
+
+def _fingerprint(array: np.ndarray) -> Tuple:
+    """A cheap content fingerprint catching direct ndarray element writes.
+
+    Full byte hash for small arrays; shape/stats digest for large ones
+    (adequate — a mutation that preserves sum, absolute sum, and the
+    first/last bytes is vanishingly unlikely in practice).
+    """
+    if array.size <= 16384:
+        return (array.shape, hash(array.tobytes()))
+    flat = np.ascontiguousarray(array).reshape(-1)
+    with np.errstate(all="ignore"):
+        return (
+            array.shape,
+            float(flat.sum()),
+            float(np.abs(flat).sum()),
+            hash(flat[:256].tobytes()),
+            hash(flat[-256:].tobytes()),
+        )
+
+
+class GraphSnapshot:
+    """Version counters + fingerprints of every node reachable from a root.
+
+    Capture right after the forward pass; :meth:`find_mutations` (or
+    passing the snapshot to :func:`validate_graph`) then reports any
+    tape-recorded array that changed underneath the autograd graph —
+    exactly the in-place numpy mutation that makes backward silently
+    compute wrong gradients.
+    """
+
+    def __init__(self, root: Tensor) -> None:
+        self.root = root
+        self._records: List[Tuple[Tensor, int, Tuple]] = [
+            (node, node.version, _fingerprint(node.data))
+            for node in _topological_order(root)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def find_mutations(self) -> List[GraphIssue]:
+        """Compare current state against the capture; one issue per node."""
+        issues: List[GraphIssue] = []
+        for node, version, fingerprint in self._records:
+            if node.version != version:
+                site = node.mutation_site or (
+                    "unknown site — enable repro.analysis.track_mutation_sites()"
+                )
+                issues.append(
+                    GraphIssue(
+                        code="mutated-tensor",
+                        severity="error",
+                        message=(
+                            f"tape-recorded data rebound in place after the forward "
+                            f"pass (version {version} → {node.version}) at {site}; "
+                            f"backward will use the mutated values"
+                        ),
+                        node=repr(node),
+                    )
+                )
+            elif _fingerprint(node.data) != fingerprint:
+                issues.append(
+                    GraphIssue(
+                        code="mutated-tensor",
+                        severity="error",
+                        message=(
+                            "tape-recorded array contents changed after the forward "
+                            "pass (direct ndarray element write, no version bump); "
+                            "backward will use the mutated values"
+                        ),
+                        node=repr(node),
+                    )
+                )
+        return issues
+
+
+def snapshot_graph(root: Tensor) -> GraphSnapshot:
+    """Capture versions/fingerprints of the tape reachable from ``root``."""
+    return GraphSnapshot(root)
+
+
+def _named_parameters(model, parameters) -> List[Tuple[str, Tensor]]:
+    if model is not None:
+        return list(model.named_parameters())
+    if parameters is None:
+        return []
+    named = []
+    for index, param in enumerate(parameters):
+        label = param.name or f"param.{index}"
+        named.append((label, param))
+    return named
+
+
+def validate_graph(
+    loss: Tensor,
+    model: Optional[Module] = None,
+    parameters: Optional[Sequence[Tensor]] = None,
+    snapshot: Optional[GraphSnapshot] = None,
+    expect_training: Optional[bool] = None,
+) -> GraphReport:
+    """Validate the autograd tape hanging off ``loss``.
+
+    Parameters
+    ----------
+    loss:
+        The tensor a backward pass would start from (typically the
+        scalar training loss of a tracer-mode forward).
+    model:
+        When given, its named parameters are checked for gradient paths
+        and its :class:`~repro.nn.layers.Dropout` submodules for mode
+        consistency.
+    parameters:
+        Alternative to ``model``: an explicit parameter list.
+    snapshot:
+        A :func:`snapshot_graph` capture taken after the forward pass;
+        enables in-place-mutation detection.
+    expect_training:
+        Assert the model's mode: ``False`` flags any active dropout
+        (dropout-in-eval), ``True`` flags dropout stuck in eval.
+    """
+    report = GraphReport()
+    order = _topological_order(loss)
+    report.num_nodes = len(order)
+    in_tape = {id(node) for node in order}
+
+    # Dead parameters / detachment ------------------------------------
+    named = _named_parameters(model, parameters)
+    report.num_parameters = len(named)
+    for name, param in named:
+        if id(param) in in_tape:
+            report.reachable_parameters += 1
+        else:
+            report.issues.append(
+                GraphIssue(
+                    code="dead-parameter",
+                    severity="error",
+                    message=(
+                        f"parameter {name!r} has no gradient path to the loss; "
+                        f"it will never be updated"
+                    ),
+                    node=repr(param),
+                )
+            )
+
+    for node in order:
+        source = node._detached_from
+        if source is not None:
+            report.issues.append(
+                GraphIssue(
+                    code="detached-tensor",
+                    severity="warning",
+                    message=(
+                        "a gradient-requiring subgraph was detached upstream of the "
+                        "loss; gradients stop here (detach() provenance)"
+                    ),
+                    node=repr(source),
+                )
+            )
+
+    # Non-finite payloads and non-finite-prone ops ---------------------
+    for node in order:
+        data = node.data
+        if not np.isfinite(data).all():
+            bad = int(np.size(data) - np.isfinite(data).sum())
+            report.issues.append(
+                GraphIssue(
+                    code="nonfinite-value",
+                    severity="error",
+                    message=f"{bad} non-finite value(s) in the forward tape",
+                    node=repr(node),
+                )
+            )
+            continue
+        grad_fn = node.grad_fn
+        if grad_fn in _NONFINITE_PRONE and node._parents:
+            issue = _check_prone(grad_fn, node)
+            if issue is not None:
+                report.issues.append(issue)
+
+    # Dropout / mode consistency ---------------------------------------
+    if model is not None:
+        root_training = model.training if expect_training is None else expect_training
+        for name, module in model.named_modules():
+            label = name or type(module).__name__
+            if isinstance(module, Dropout) and module.rate > 0:
+                if module.training and not root_training:
+                    report.issues.append(
+                        GraphIssue(
+                            code="dropout-in-eval",
+                            severity="error",
+                            message=(
+                                f"Dropout {label!r} (rate={module.rate}) is active "
+                                f"while the model is in eval mode; predictions will "
+                                f"be stochastic"
+                            ),
+                        )
+                    )
+                elif not module.training and root_training:
+                    report.issues.append(
+                        GraphIssue(
+                            code="dropout-stuck-in-eval",
+                            severity="warning",
+                            message=(
+                                f"Dropout {label!r} (rate={module.rate}) is disabled "
+                                f"while the model trains; regularization is off"
+                            ),
+                        )
+                    )
+
+    # In-place mutation ------------------------------------------------
+    if snapshot is not None:
+        report.issues.extend(snapshot.find_mutations())
+
+    return report
+
+
+def _check_prone(grad_fn: str, node: Tensor) -> Optional[GraphIssue]:
+    """Heuristic danger-zone checks for numerically fragile ops."""
+    parents = node._parents
+    message = None
+    if grad_fn in ("log", "sqrt"):
+        low = float(parents[0].data.min()) if parents[0].data.size else 1.0
+        if low < 1e-12:
+            message = f"{grad_fn} input reaches {low:.3g}; gradient blows up near 0"
+    elif grad_fn == "div" and len(parents) > 1:
+        divisor = parents[1].data
+        closest = float(np.abs(divisor).min()) if divisor.size else 1.0
+        if closest < 1e-12:
+            message = f"divisor magnitude reaches {closest:.3g}; quotient is non-finite-prone"
+    elif grad_fn == "power":
+        low = float(np.abs(parents[0].data).min()) if parents[0].data.size else 1.0
+        if low < 1e-12:
+            message = f"power base magnitude reaches {low:.3g}; fractional/negative exponents blow up"
+    elif grad_fn == "exp":
+        high = float(parents[0].data.max()) if parents[0].data.size else 0.0
+        if high > 700.0:
+            message = f"exp input reaches {high:.3g}; overflow to inf at ~709"
+    if message is None:
+        return None
+    return GraphIssue(
+        code="nonfinite-prone", severity="warning", message=message, node=repr(node)
+    )

@@ -40,6 +40,13 @@ class BiLSTMReviewEncoder(nn.Module):
         _, summary = self.bilstm(vectors, token_mask)  # (B, review_dim)
         return summary
 
+    def shape_spec(self, token_ids, token_mask=None):
+        from repro.analysis import shapes as S
+
+        vectors = S.apply_spec(self.word_embedding, "word_embedding", token_ids)
+        _, summary = S.apply_spec(self.bilstm, "bilstm", vectors, token_mask)
+        return summary
+
 
 class CNNReviewEncoder(nn.Module):
     """TextCNN encoder (ablation): conv + ReLU + max-over-time."""
@@ -59,6 +66,12 @@ class CNNReviewEncoder(nn.Module):
     def forward(self, token_ids: np.ndarray, token_mask: np.ndarray) -> Tensor:
         vectors = self.word_embedding(token_ids)
         return self.cnn(vectors)
+
+    def shape_spec(self, token_ids, token_mask=None):
+        from repro.analysis import shapes as S
+
+        vectors = S.apply_spec(self.word_embedding, "word_embedding", token_ids)
+        return S.apply_spec(self.cnn, "cnn", vectors)
 
 
 class MeanReviewEncoder(nn.Module):
@@ -81,6 +94,13 @@ class MeanReviewEncoder(nn.Module):
         counts = np.maximum(mask.sum(axis=1), 1.0)  # (B, 1)
         pooled = F.sum(vectors * Tensor(mask), axis=1) * Tensor(1.0 / counts)
         return F.tanh(self.project(pooled))
+
+    def shape_spec(self, token_ids, token_mask=None):
+        from repro.analysis import shapes as S
+
+        vectors = S.apply_spec(self.word_embedding, "word_embedding", token_ids)
+        pooled = S.ShapeSpec((vectors.dims[0], vectors.dims[2]), "float64")
+        return S.apply_spec(self.project, "project", pooled)
 
 
 def make_encoder(

@@ -83,3 +83,27 @@ class EntityNet(nn.Module):
                 axis=1,
             )
         return self.project(pooled), weights
+
+    def shape_spec(self, review_vectors, own_embedding, other_embeddings, slot_mask=None):
+        from repro.analysis import shapes as S
+
+        if self.pooling == "attention":
+            pooled, weights = S.apply_spec(
+                self.attention,
+                "attention",
+                review_vectors,
+                own_embedding,
+                other_embeddings,
+                slot_mask,
+            )
+        else:
+            layer = "EntityNet(pooling='mean')"
+            S.expect_ndim(review_vectors, 3, layer=layer, what="review_vectors")
+            batch, m = review_vectors.dims[0], review_vectors.dims[1]
+            if slot_mask is not None:
+                S.expect_ndim(slot_mask, 2, layer=layer, what="slot_mask")
+                batch = S.unify(batch, slot_mask.dims[0], what="mask batch axis", layer=layer)
+                m = S.unify(m, slot_mask.dims[1], what="mask slot axis", layer=layer)
+            pooled = S.ShapeSpec((batch, review_vectors.dims[2]), "float64")
+            weights = S.ShapeSpec((batch, m), "float64")
+        return S.apply_spec(self.project, "project", pooled), weights

@@ -139,6 +139,7 @@ class RRRETrainer:
         keep_checkpoints: int = 3,
         guard: Union[None, bool, DivergencePolicy, DivergenceGuard] = None,
         chaos: Optional[ChaosEngine] = None,
+        validate: Optional[str] = None,
     ) -> "RRRETrainer":
         """Train on ``train``; optionally evaluate on ``test`` per epoch.
 
@@ -167,6 +168,17 @@ class RRRETrainer:
         state plus learning-rate backoff, raising
         :class:`repro.resilience.DivergenceError` once retries are
         exhausted.  ``chaos`` injects deterministic faults for tests.
+
+        ``validate`` runs the static-analysis pre-flight (see
+        ``docs/analysis.md``) before the first epoch: ``"shapes"``
+        symbolically checks the full dataflow without a forward pass;
+        ``"strict"`` additionally executes one tiny eval-mode forward
+        and validates its autograd tape (dead parameters, detachment,
+        non-finite values, dropout-mode bugs).  A violation raises
+        :class:`repro.analysis.PreflightError` before any training
+        compute is spent; the eval-mode probe leaves the training RNG
+        streams untouched, so results are bitwise-identical with the
+        hook on or off.
         """
         cfg = self.config
         if telemetry is True:
@@ -231,6 +243,11 @@ class RRRETrainer:
             num_items=dataset.num_items,
             vocab_size=len(self.table.vocab),
         )
+        if validate:
+            from repro.analysis import preflight
+
+            with _maybe_timer(registry, "fit.preflight"):
+                preflight(self.model, self.slots, self.table, mode=validate)
         if cfg.pretrain_words and restored is None:
             # A resumed run restores the trained word vectors from the
             # checkpoint; re-running skip-gram would be wasted work.

@@ -111,3 +111,39 @@ class ReviewAttention(Module):
         weights = F.softmax(scores, axis=-1)  # (B, m)
         pooled = F.squeeze(F.matmul(F.expand_dims(weights, 1), reviews), axis=1)
         return pooled, weights
+
+    def shape_spec(self, reviews, own_embedding, other_embeddings, mask=None):
+        from repro.analysis import shapes as S
+
+        review_dim = self.w_review.shape[0]
+        other_dim = self.w_other.shape[0]
+        layer = f"ReviewAttention(review={review_dim}, other={other_dim})"
+        S.expect_ndim(reviews, 3, layer=layer, what="reviews")
+        S.expect_dtype(reviews, "float64", layer=layer, what="reviews")
+        S.expect_axis(reviews, -1, review_dim, layer=layer, what="review width")
+        S.expect_ndim(other_embeddings, 3, layer=layer, what="other_embeddings")
+        S.expect_axis(
+            other_embeddings, -1, other_dim, layer=layer, what="counterpart ID width"
+        )
+        batch = S.unify(
+            reviews.dims[0], other_embeddings.dims[0], what="batch axis", layer=layer
+        )
+        m = S.unify(
+            reviews.dims[1], other_embeddings.dims[1], what="review slot axis", layer=layer
+        )
+        if self.include_own:
+            if own_embedding is None:
+                raise S.ShapeError("own_embedding required when include_own=True", layer=layer)
+            own_dim = self.w_own.shape[0]
+            S.expect_ndim(own_embedding, 2, layer=layer, what="own_embedding")
+            S.expect_axis(own_embedding, -1, own_dim, layer=layer, what="own ID width")
+            batch = S.unify(batch, own_embedding.dims[0], what="batch axis", layer=layer)
+        if mask is not None:
+            S.expect_ndim(mask, 2, layer=layer, what="mask")
+            S.expect_dtype(mask, "bool", layer=layer, what="mask")
+            batch = S.unify(batch, mask.dims[0], what="mask batch axis", layer=layer)
+            m = S.unify(m, mask.dims[1], what="mask slot axis", layer=layer)
+        return (
+            S.ShapeSpec((batch, review_dim), "float64"),
+            S.ShapeSpec((batch, m), "float64"),
+        )

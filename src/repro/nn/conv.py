@@ -53,6 +53,26 @@ class Conv1d(Module):
         unfolded = F.concat(windows, axis=-1)  # (B, out_len, k*d)
         return F.matmul(unfolded, self.weight) + self.bias
 
+    def shape_spec(self, x):
+        from repro.analysis import shapes as S
+
+        layer = (
+            f"Conv1d(in={self.in_channels}, out={self.out_channels}, "
+            f"k={self.kernel_size})"
+        )
+        S.expect_ndim(x, 3, layer=layer)
+        S.expect_dtype(x, "float64", layer=layer)
+        S.expect_axis(x, -1, self.in_channels, layer=layer, what="input channel axis")
+        length = x.dims[1]
+        if length.is_concrete and length.offset < self.kernel_size:
+            raise S.ShapeError(
+                f"sequence length {length!r} shorter than kernel size "
+                f"{self.kernel_size}",
+                layer=layer,
+            )
+        out_len = length - (self.kernel_size - 1)
+        return x.with_dims((x.dims[0], out_len, S.Dim.of(self.out_channels)))
+
 
 class TextCNN(Module):
     """Conv1d → ReLU → max-over-time, the encoder block of DeepCoNN/NARRE.
@@ -75,3 +95,10 @@ class TextCNN(Module):
     def forward(self, x: Tensor) -> Tensor:
         feature_map = F.relu(self.conv(x))
         return F.max(feature_map, axis=1)
+
+    def shape_spec(self, x):
+        from repro.analysis import shapes as S
+
+        feature_map = S.apply_spec(self.conv, "conv", x)
+        # ReLU is shape-preserving; max-over-time removes the length axis.
+        return feature_map.with_dims((feature_map.dims[0], feature_map.dims[2]))

@@ -44,3 +44,12 @@ class FactorizationMachine(Module):
         z2v2 = F.matmul(z * z, self.factors * self.factors)  # (B, k)
         pairwise = 0.5 * F.sum(zv * zv - z2v2, axis=1)  # (B,)
         return linear_term + pairwise + self.global_bias
+
+    def shape_spec(self, z):
+        from repro.analysis import shapes as S
+
+        layer = f"FactorizationMachine(in={self.input_dim}, k={self.factor_dim})"
+        S.expect_ndim(z, 2, layer=layer)
+        S.expect_dtype(z, "float64", layer=layer)
+        S.expect_axis(z, -1, self.input_dim, layer=layer, what="input feature axis")
+        return S.ShapeSpec((z.dims[0],), "float64")

@@ -44,6 +44,16 @@ class Linear(Module):
             out = out + self.bias
         return out
 
+    def shape_spec(self, x):
+        from repro.analysis import shapes as S
+
+        layer = f"Linear(in={self.in_features}, out={self.out_features})"
+        S.expect_dtype(x, "float64", layer=layer)
+        if x.ndim < 1:
+            raise S.ShapeError(f"input must be at least 1-d, got {x!r}", layer=layer)
+        S.expect_axis(x, -1, self.in_features, layer=layer, what="input feature axis")
+        return x.with_dims(x.dims[:-1] + (S.Dim.of(self.out_features),))
+
 
 class Embedding(Module):
     """Lookup table mapping integer ids to dense vectors.
@@ -82,6 +92,15 @@ class Embedding(Module):
         out = F.take_rows(self.weight, indices)
         return out
 
+    def shape_spec(self, indices):
+        from repro.analysis import shapes as S
+
+        layer = f"Embedding({self.num_embeddings}, {self.embedding_dim})"
+        S.expect_dtype(indices, ("int64", "int32"), layer=layer, what="indices")
+        return S.ShapeSpec(
+            indices.dims + (S.Dim.of(self.embedding_dim),), "float64", indices.name
+        )
+
     def load_pretrained(self, vectors: np.ndarray, freeze: bool = False) -> None:
         """Overwrite the table with pretrained ``vectors``."""
         vectors = np.asarray(vectors, dtype=np.float64)
@@ -90,9 +109,9 @@ class Embedding(Module):
                 f"pretrained shape {vectors.shape} != "
                 f"({self.num_embeddings}, {self.embedding_dim})"
             )
-        self.weight.data = vectors.copy()
+        self.weight.data = vectors.copy()  # lint: allow[MUT001] — pretrained load happens before any tape records the table
         if self.padding_idx is not None:
-            self.weight.data[self.padding_idx] = 0.0
+            self.weight.data[self.padding_idx] = 0.0  # lint: allow[MUT001] — padding row is zero by construction
         if freeze:
             self.weight.requires_grad = False
 
@@ -110,6 +129,12 @@ class Dropout(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.dropout(x, self.rate, self._rng, training=self.training)
 
+    def shape_spec(self, x):
+        from repro.analysis import shapes as S
+
+        S.expect_dtype(x, "float64", layer=f"Dropout({self.rate})")
+        return x
+
 
 class Sequential(Module):
     """Run modules (or bare callables such as ``F.relu``) in order."""
@@ -121,6 +146,17 @@ class Sequential(Module):
     def forward(self, x: Tensor) -> Tensor:
         for step in self.steps:
             x = step(x)
+        return x
+
+    def shape_spec(self, x):
+        from repro.analysis import shapes as S
+        from .module import Module
+
+        for index, step in enumerate(self.steps):
+            if isinstance(step, Module):
+                x = S.apply_spec(step, f"steps.{index}", x)
+            # Bare callables (F.relu, F.tanh, ...) are elementwise and
+            # shape-preserving by contract; pass the spec through.
         return x
 
 
@@ -154,4 +190,11 @@ class MLP(Module):
                 x = self.activation(x)
                 if self.dropout is not None:
                     x = self.dropout(x)
+        return x
+
+    def shape_spec(self, x):
+        from repro.analysis import shapes as S
+
+        for index, layer in enumerate(self.layers):
+            x = S.apply_spec(layer, f"layers.{index}", x)
         return x

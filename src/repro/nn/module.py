@@ -133,7 +133,25 @@ class Module:
                 raise ValueError(
                     f"shape mismatch for {name!r}: expected {param.shape}, got {value.shape}"
                 )
-            param.data = value.copy()
+            param.data = value.copy()  # lint: allow[MUT001] — state-dict load; no live tape references the old arrays
+
+    # ------------------------------------------------------------------
+    # Static analysis
+    # ------------------------------------------------------------------
+    def shape_spec(self, *inputs, **kwargs):
+        """Symbolic shape inference for this module (shape-spec protocol).
+
+        Mirrors :meth:`forward` over
+        :class:`repro.analysis.shapes.ShapeSpec` inputs instead of
+        tensors: returns the output spec(s) the forward would produce, or
+        raises :class:`repro.analysis.shapes.ShapeError` naming the
+        offending axis.  Every shipped layer implements it; custom
+        modules that want `repro.analysis.check_shapes` coverage
+        override it.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the shape-spec protocol"
+        )
 
     # ------------------------------------------------------------------
     def __call__(self, *args, **kwargs):

@@ -197,9 +197,9 @@ class SGD(Optimizer):
                 v = self._velocity[id(p)]
                 v *= self.momentum
                 v -= self.lr * grad
-                p.data += v
+                p.data += v  # lint: allow[MUT001] — optimizer update site: post-backward, before the next tape
             else:
-                p.data -= self.lr * grad
+                p.data -= self.lr * grad  # lint: allow[MUT001] — optimizer update site: post-backward, before the next tape
 
 
 class Adam(Optimizer):
@@ -254,7 +254,7 @@ class Adam(Optimizer):
             v += (1.0 - self.beta2) * grad**2
             m_hat = m / correction1
             v_hat = v / correction2
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)  # lint: allow[MUT001] — optimizer update site: post-backward, before the next tape
 
 
 class RMSprop(Optimizer):
@@ -292,4 +292,4 @@ class RMSprop(Optimizer):
             sq = self._sq[id(p)]
             sq *= self.alpha
             sq += (1.0 - self.alpha) * grad**2
-            p.data -= self.lr * grad / (np.sqrt(sq) + self.eps)
+            p.data -= self.lr * grad / (np.sqrt(sq) + self.eps)  # lint: allow[MUT001] — optimizer update site: post-backward, before the next tape

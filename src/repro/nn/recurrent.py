@@ -49,6 +49,21 @@ class LSTMCell(Module):
         h_next = o_gate * F.tanh(c_next)
         return h_next, c_next
 
+    def shape_spec(self, x, h, c):
+        from repro.analysis import shapes as S
+
+        layer = f"LSTMCell(in={self.input_size}, hidden={self.hidden_size})"
+        for what, spec in (("x", x), ("h", h), ("c", c)):
+            S.expect_ndim(spec, 2, layer=layer, what=what)
+            S.expect_dtype(spec, "float64", layer=layer, what=what)
+        S.expect_axis(x, -1, self.input_size, layer=layer, what="input feature axis")
+        S.expect_axis(h, -1, self.hidden_size, layer=layer, what="hidden state width")
+        S.expect_axis(c, -1, self.hidden_size, layer=layer, what="cell state width")
+        batch = S.unify(x.dims[0], h.dims[0], what="batch axis", layer=layer)
+        batch = S.unify(batch, c.dims[0], what="batch axis", layer=layer)
+        out = S.ShapeSpec((batch, self.hidden_size), "float64")
+        return out, out
+
 
 class LSTM(Module):
     """Unidirectional LSTM over ``(B, L, d)`` sequences.
@@ -94,6 +109,25 @@ class LSTM(Module):
         stacked = F.stack(outputs, axis=1)
         return stacked, h
 
+    def shape_spec(self, x, mask=None):
+        from repro.analysis import shapes as S
+
+        layer = f"LSTM(in={self.cell.input_size}, hidden={self.hidden_size})"
+        S.expect_ndim(x, 3, layer=layer)
+        S.expect_dtype(x, "float64", layer=layer)
+        S.expect_axis(x, -1, self.cell.input_size, layer=layer, what="input feature axis")
+        batch, length = x.dims[0], x.dims[1]
+        if mask is not None:
+            S.expect_ndim(mask, 2, layer=layer, what="mask")
+            S.expect_dtype(mask, "bool", layer=layer, what="mask")
+            batch = S.unify(batch, mask.dims[0], what="mask batch axis", layer=layer)
+            length = S.unify(length, mask.dims[1], what="mask length axis", layer=layer)
+        H = S.Dim.of(self.hidden_size)
+        return (
+            S.ShapeSpec((batch, length, H), "float64"),
+            S.ShapeSpec((batch, H), "float64"),
+        )
+
 
 class BiLSTM(Module):
     """Bidirectional LSTM; the summary is ``h_forward ⊕ h_backward`` (Eq. 4).
@@ -115,6 +149,15 @@ class BiLSTM(Module):
         bwd_steps, bwd_last = self.backward_lstm(x, mask)
         steps = F.concat([fwd_steps, bwd_steps], axis=-1)
         summary = F.concat([fwd_last, bwd_last], axis=-1)
+        return steps, summary
+
+    def shape_spec(self, x, mask=None):
+        from repro.analysis import shapes as S
+
+        fwd_steps, fwd_last = S.apply_spec(self.forward_lstm, "forward_lstm", x, mask)
+        bwd_steps, bwd_last = S.apply_spec(self.backward_lstm, "backward_lstm", x, mask)
+        steps = S.concat_spec([fwd_steps, bwd_steps], axis=-1, layer="BiLSTM steps")
+        summary = S.concat_spec([fwd_last, bwd_last], axis=-1, layer="BiLSTM summary")
         return steps, summary
 
 
@@ -141,6 +184,19 @@ class GRUCell(Module):
         h_tilde = F.tanh(F.matmul(candidate_in, self.weight_h) + self.bias_h)
         return (1.0 - z) * h + z * h_tilde
 
+    def shape_spec(self, x, h):
+        from repro.analysis import shapes as S
+
+        input_size = self.weight_h.shape[0] - self.hidden_size
+        layer = f"GRUCell(in={input_size}, hidden={self.hidden_size})"
+        for what, spec in (("x", x), ("h", h)):
+            S.expect_ndim(spec, 2, layer=layer, what=what)
+            S.expect_dtype(spec, "float64", layer=layer, what=what)
+        S.expect_axis(x, -1, input_size, layer=layer, what="input feature axis")
+        S.expect_axis(h, -1, self.hidden_size, layer=layer, what="hidden state width")
+        batch = S.unify(x.dims[0], h.dims[0], what="batch axis", layer=layer)
+        return S.ShapeSpec((batch, self.hidden_size), "float64")
+
 
 class GRU(Module):
     """Unidirectional GRU over ``(B, L, d)``; returns ``(outputs, last)``."""
@@ -166,3 +222,23 @@ class GRU(Module):
             h = F.where(mask[:, t : t + 1], h_new, h)
             outputs.append(h)
         return F.stack(outputs, axis=1), h
+
+    def shape_spec(self, x, mask=None):
+        from repro.analysis import shapes as S
+
+        input_size = self.cell.weight_h.shape[0] - self.hidden_size
+        layer = f"GRU(in={input_size}, hidden={self.hidden_size})"
+        S.expect_ndim(x, 3, layer=layer)
+        S.expect_dtype(x, "float64", layer=layer)
+        S.expect_axis(x, -1, input_size, layer=layer, what="input feature axis")
+        batch, length = x.dims[0], x.dims[1]
+        if mask is not None:
+            S.expect_ndim(mask, 2, layer=layer, what="mask")
+            S.expect_dtype(mask, "bool", layer=layer, what="mask")
+            batch = S.unify(batch, mask.dims[0], what="mask batch axis", layer=layer)
+            length = S.unify(length, mask.dims[1], what="mask length axis", layer=layer)
+        H = S.Dim.of(self.hidden_size)
+        return (
+            S.ShapeSpec((batch, length, H), "float64"),
+            S.ShapeSpec((batch, H), "float64"),
+        )

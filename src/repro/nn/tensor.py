@@ -22,6 +22,7 @@ Design notes
 
 from __future__ import annotations
 
+import sys
 import time
 from typing import Callable, Iterable, Optional, Sequence, Union
 
@@ -33,6 +34,21 @@ ArrayLike = Union[np.ndarray, float, int, Sequence]
 #: seconds)`` after every :meth:`Tensor.backward`.  ``None`` (the default)
 #: keeps backward on a fast path with a single global lookup of overhead.
 _backward_observer: Optional[Callable[["Tensor", int, float], None]] = None
+
+#: When True, every rebind of ``Tensor.data`` records the caller's
+#: ``file:line`` in ``_mutation_site`` so the autograd-graph validator can
+#: name the mutating site.  Off by default — the capture costs a frame
+#: lookup per assignment, which the optimizer hot loop should not pay.
+#: Toggled by :func:`repro.analysis.graph.track_mutation_sites`.
+_track_mutation_sites: bool = False
+
+
+def set_mutation_site_tracking(enabled: bool) -> bool:
+    """Enable/disable mutation-site capture; returns the previous setting."""
+    global _track_mutation_sites
+    previous = _track_mutation_sites
+    _track_mutation_sites = bool(enabled)
+    return previous
 
 
 def set_backward_observer(
@@ -86,9 +102,29 @@ class Tensor:
         per parent (internal).
     name:
         Optional label used in ``repr`` — handy when debugging graphs.
+
+    Notes
+    -----
+    ``data`` is a property over the ``_data`` slot: every rebind bumps a
+    monotonically increasing version counter (:attr:`version`), which the
+    static-analysis layer (:mod:`repro.analysis.graph`) compares across
+    forward/backward to detect in-place mutation of tape-recorded arrays.
+    Direct element writes through the shared ndarray (``t.data[i] = v``)
+    bypass the setter; the validator catches those with content
+    fingerprints instead.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+    __slots__ = (
+        "_data",
+        "grad",
+        "requires_grad",
+        "_parents",
+        "_backward_fn",
+        "name",
+        "_version",
+        "_mutation_site",
+        "_detached_from",
+    )
 
     def __init__(
         self,
@@ -100,12 +136,55 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        self._data = np.asarray(data, dtype=np.float64)
+        self._version = 0
+        self._mutation_site: Optional[str] = None
+        self._detached_from: Optional["Tensor"] = None
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
         self._parents = tuple(parents)
         self._backward_fn = backward_fn
         self.name = name
+
+    # ------------------------------------------------------------------
+    # Data access with version counting
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying float64 ndarray (shared, not copied)."""
+        return self._data
+
+    @data.setter
+    def data(self, value: ArrayLike) -> None:
+        self._data = np.asarray(value, dtype=np.float64)
+        self._version += 1
+        if _track_mutation_sites:
+            frame = sys._getframe(1)
+            self._mutation_site = f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+    @property
+    def version(self) -> int:
+        """Bumped on every rebind of :attr:`data` (in-place ``+=`` included)."""
+        return self._version
+
+    @property
+    def mutation_site(self) -> Optional[str]:
+        """``file:line`` of the last :attr:`data` rebind, when site tracking
+        was enabled (:func:`set_mutation_site_tracking`)."""
+        return self._mutation_site
+
+    @property
+    def grad_fn(self) -> Optional[str]:
+        """Name of the op that produced this tensor, or None for leaves.
+
+        Derived from the backward closure's qualified name, so every op in
+        :mod:`repro.nn.functional` reports its public name (``"matmul"``,
+        ``"softmax"``, ...) without per-op bookkeeping.
+        """
+        if self._backward_fn is None:
+            return None
+        qualname = getattr(self._backward_fn, "__qualname__", "")
+        return qualname.split(".", 1)[0] or None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -126,8 +205,15 @@ class Tensor:
         return len(self.data)
 
     def __repr__(self) -> str:
-        tag = f" name={self.name!r}" if self.name else ""
-        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}{tag})"
+        bits = [f"shape={self.shape}", f"dtype={self.data.dtype}"]
+        if self.requires_grad:
+            bits.append("requires_grad=True")
+        grad_fn = self.grad_fn
+        if grad_fn is not None:
+            bits.append(f"grad_fn=<{grad_fn}>")
+        if self.name:
+            bits.append(f"name={self.name!r}")
+        return f"Tensor({', '.join(bits)})"
 
     def item(self) -> float:
         """Return the scalar payload of a 0-d / single-element tensor."""
@@ -187,8 +273,16 @@ class Tensor:
             observer(self, len(order), time.perf_counter() - start)
 
     def detach(self) -> "Tensor":
-        """Return a new tensor sharing data but cut from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        """Return a new tensor sharing data but cut from the graph.
+
+        The detachment provenance is kept (``_detached_from``) so the
+        autograd-graph validator can flag a gradient path that was
+        accidentally severed by a detach.
+        """
+        out = Tensor(self.data, requires_grad=False, name=self.name)
+        if self.requires_grad or self._backward_fn is not None:
+            out._detached_from = self
+        return out
 
     # ------------------------------------------------------------------
     # Arithmetic operators (implemented in functional.py, bound late)

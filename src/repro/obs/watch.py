@@ -111,7 +111,7 @@ class WatchState:
         if shape:
             lines.append(shape)
         if now is None:
-            now = time.time()
+            now = time.time()  # lint: allow[TIME001] — display-only staleness readout
         if self.last_ts is not None and not self.finished:
             lines.append(f"last event: {max(0.0, now - self.last_ts):.0f}s ago")
 

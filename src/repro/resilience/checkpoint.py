@@ -272,7 +272,7 @@ class CheckpointManager:
             "schema_version": SCHEMA_VERSION,
             "epoch": int(state.epoch),
             "retries": int(state.retries),
-            "created": time.time(),
+            "created": time.time(),  # lint: allow[TIME001] — manifest provenance stamp, outside the training path
             "payload": payload_final.name,
             "config": state.config,
             "rng_states": state.rng_states,

@@ -1,0 +1,89 @@
+"""Finite-difference gradient checks: every layer passes, sabotage fails."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import LAYER_CASES, GradcheckResult, gradcheck, run_layer_gradchecks
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+class TestGradcheckCore:
+    def test_correct_gradient_passes(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4,)), requires_grad=True)
+        result = gradcheck(lambda t: t * t, [x], name="square")
+        assert result.ok
+        assert result.max_rel_err < 1e-4
+        assert result.num_checked == 4
+
+    def test_wrong_gradient_is_caught(self):
+        def bad_square(t):
+            out = Tensor(t.data**2, requires_grad=True)
+            out._parents = (t,)
+            # Deliberately wrong: d(x²)/dx is 2x, not 3x.
+            out._backward_fn = lambda grad: (3.0 * t.data * grad,)
+            return out
+
+        x = Tensor(np.random.default_rng(0).normal(size=(4,)), requires_grad=True)
+        result = gradcheck(bad_square, [x], name="bad")
+        assert not result.ok
+        assert len(result.failures) == 4
+
+    def test_raise_on_failure(self):
+        def bad(t):
+            out = Tensor(t.data * 2.0, requires_grad=True)
+            out._parents = (t,)
+            out._backward_fn = lambda grad: (np.zeros_like(grad),)  # drops it
+            return out
+
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(AssertionError, match="gradcheck"):
+            gradcheck(bad, [x], raise_on_failure=True)
+
+    def test_tuple_outputs_are_all_projected(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(3,)), requires_grad=True)
+        result = gradcheck(lambda t: (t * t, F.sum(t)), [x])
+        assert result.ok
+
+    def test_needs_a_checked_tensor(self):
+        with pytest.raises(ValueError):
+            gradcheck(lambda t: t, [Tensor(np.ones(3))])
+
+    def test_max_elements_subsamples(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(100,)), requires_grad=True)
+        result = gradcheck(lambda t: t * t, [x], max_elements=10)
+        assert result.num_checked == 10
+
+
+class TestLayerRegistry:
+    EXPECTED = {
+        "Linear",
+        "Embedding",
+        "Dropout",
+        "Sequential",
+        "MLP",
+        "Conv1d",
+        "TextCNN",
+        "LSTMCell",
+        "LSTM",
+        "BiLSTM",
+        "GRUCell",
+        "GRU",
+        "ReviewAttention",
+        "FactorizationMachine",
+    }
+
+    def test_every_layer_has_a_case(self):
+        assert set(LAYER_CASES) == self.EXPECTED
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_layer_gradients_match(self, name):
+        result = run_layer_gradchecks([name], max_elements=30)[name]
+        assert isinstance(result, GradcheckResult)
+        assert result.ok, "\n".join(str(f) for f in result.failures[:10])
+        # The acceptance bar: relative error below 1e-4 in float64.
+        assert result.max_rel_err < 1e-4
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(KeyError):
+            run_layer_gradchecks(["NoSuchLayer"])

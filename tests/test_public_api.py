@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.metrics",
     "repro.eval",
+    "repro.analysis",
 ]
 
 
@@ -42,6 +43,15 @@ def test_public_objects_documented(name):
         # and typing aliases are exempt.
         if inspect.isclass(obj) or inspect.isfunction(obj):
             assert obj.__doc__, f"{name}.{entry} lacks a docstring"
+
+
+def test_analysis_exports():
+    """The four analysis entry points are importable from repro.analysis."""
+    import repro.analysis as analysis
+
+    for entry in ("check_shapes", "validate_graph", "gradcheck", "lint_paths"):
+        assert entry in analysis.__all__, f"repro.analysis.__all__ misses {entry!r}"
+        assert callable(getattr(analysis, entry))
 
 
 class TestCLI:
