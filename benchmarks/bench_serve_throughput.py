@@ -1,0 +1,146 @@
+"""Benchmark: serving latency and throughput of the online runtime.
+
+Trains a small RRRE model, exports its embedding store, and drives a
+live in-process :class:`repro.serve.RecommendationService` with 1 / 4 /
+16 concurrent closed-loop clients over distinct users (cache-cold) plus
+one warm-cache pass.  Reports p50/p95 request latency and QPS per
+concurrency level into ``benchmarks/out/BENCH_serve_throughput.json``,
+so the trajectory catches serving-path regressions the same way the
+table benches catch accuracy drift.
+
+The client loop calls the service directly (no HTTP) — the point is the
+store→cache→batcher→retriever pipeline, not socket overhead.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from types import SimpleNamespace
+
+import numpy as np
+
+from conftest import bench_out_dir, bench_scale
+
+from repro.core import RRRETrainer, fast_config
+from repro.data import load_dataset, train_test_split
+from repro.obs import write_bench_artifact
+from repro.serve import RecommendationService, ServeConfig, export_store
+
+#: Concurrent closed-loop clients per measured level.
+CONCURRENCY_LEVELS = (1, 4, 16)
+
+#: Requests each client issues per level.
+REQUESTS_PER_CLIENT = 40
+
+
+def _drive(service, level, num_users, offset):
+    """One concurrency level: ``level`` clients, distinct cold users."""
+    latencies = []
+
+    def client(worker):
+        mine = []
+        rng = np.random.default_rng(1000 + offset + worker)
+        users = rng.integers(0, num_users, size=REQUESTS_PER_CLIENT)
+        for user in users:
+            begin = time.perf_counter()
+            service.recommend(int(user))
+            mine.append(time.perf_counter() - begin)
+        return mine
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=level) as pool:
+        for result in pool.map(client, range(level)):
+            latencies.extend(result)
+    elapsed = time.perf_counter() - start
+    latencies = np.array(latencies)
+    return {
+        "clients": level,
+        "requests": int(latencies.size),
+        "qps": float(latencies.size / elapsed),
+        "p50_ms": float(np.percentile(latencies, 50) * 1e3),
+        "p95_ms": float(np.percentile(latencies, 95) * 1e3),
+        "mean_ms": float(latencies.mean() * 1e3),
+    }
+
+
+def serve_throughput(scale):
+    dataset = load_dataset("yelpchi", seed=0, scale=scale)
+    train, _ = train_test_split(dataset, seed=0)
+    trainer = RRRETrainer(fast_config(epochs=1, seed=0)).fit(dataset, train)
+    store = export_store(trainer, out_dir=None)
+
+    levels = []
+    warm = None
+    with RecommendationService(store, ServeConfig(top_k=5)) as service:
+        for index, level in enumerate(CONCURRENCY_LEVELS):
+            # Fresh cache per level so every request takes the cold path.
+            if service.cache is not None:
+                service.cache.clear()
+            levels.append(_drive(service, level, store.num_users, index * 100))
+
+        # Warm pass: identical requests, answered from the result cache.
+        begin = time.perf_counter()
+        service.recommend(0)
+        cold_ms = (time.perf_counter() - begin) * 1e3
+        warm_times = []
+        for _ in range(200):
+            begin = time.perf_counter()
+            service.recommend(0)
+            warm_times.append(time.perf_counter() - begin)
+        warm = {
+            "cold_ms": float(cold_ms),
+            "p50_ms": float(np.percentile(warm_times, 50) * 1e3),
+            "p95_ms": float(np.percentile(warm_times, 95) * 1e3),
+        }
+        cache_stats = service.cache.stats.to_dict()
+
+    data = {
+        "levels": levels,
+        "warm_cache": warm,
+        "cache": cache_stats,
+        "store": {
+            "users": store.num_users,
+            "items": store.num_items,
+            "reviews": store.num_reviews,
+        },
+    }
+    lines = ["serve throughput (closed-loop, in-process):"]
+    for row in levels:
+        lines.append(
+            f"  {row['clients']:>2} client(s): {row['qps']:8.0f} req/s, "
+            f"p50 {row['p50_ms']:.2f} ms, p95 {row['p95_ms']:.2f} ms"
+        )
+    lines.append(
+        f"  warm cache : p50 {warm['p50_ms']:.3f} ms, p95 {warm['p95_ms']:.3f} ms "
+        f"(cold {warm['cold_ms']:.2f} ms)"
+    )
+    return SimpleNamespace(data=data, rendered="\n".join(lines))
+
+
+def test_serve_throughput(benchmark):
+    scale = bench_scale()
+    start = time.perf_counter()
+    report = benchmark.pedantic(
+        serve_throughput, args=(scale,), rounds=1, iterations=1
+    )
+    seconds = time.perf_counter() - start
+    print("\n" + report.rendered)
+
+    out_dir = bench_out_dir()
+    if out_dir is not None:
+        # Named explicitly (not via run_once) so the artifact lands at
+        # BENCH_serve_throughput.json, greppable with the serve_* family.
+        write_bench_artifact(
+            out_dir,
+            "serve_throughput",
+            report.data,
+            timing={"seconds": seconds},
+            params={"scale": scale, "concurrency": list(CONCURRENCY_LEVELS)},
+            rendered=report.rendered,
+        )
+
+    for row in report.data["levels"]:
+        assert row["qps"] > 0
+        assert row["p50_ms"] <= row["p95_ms"]
+    assert report.data["warm_cache"]["p50_ms"] > 0
+    # The warm path must be served from cache, not re-scored.
+    assert report.data["cache"]["hits"] >= 200

@@ -15,6 +15,11 @@ silently:
 3. **Relative markdown links** — ``[text](docs/nn_api.md)`` — must point
    at existing files.
 
+Against the real repository it additionally checks that the documents in
+:data:`REQUIRED_DOCS` exist and that the CLI subcommand catalogue
+(``repro.__main__.SUBCOMMANDS``) covers every registered experiment and
+is itself covered by the docs (:func:`check_cli`).
+
 Exit status 0 when everything resolves; 1 otherwise, with one line per
 problem.  Wired into the test suite by ``tests/test_docs.py``; run
 directly with ``python scripts/check_docs.py``.
@@ -42,6 +47,7 @@ REQUIRED_DOCS = (
     "docs/observability.md",
     "docs/resilience.md",
     "docs/analysis.md",
+    "docs/serving.md",
 )
 
 #: A dotted name rooted at the package, e.g. ``repro.nn.functional.relu``.
@@ -154,11 +160,41 @@ def check_file(path: Path, root: Path = REPO_ROOT) -> List[str]:
     return problems
 
 
+def check_cli(root: Path = REPO_ROOT) -> List[str]:
+    """Cross-check the CLI subcommand catalogue against the docs.
+
+    Ensures ``python -m repro --help`` cannot drift: every registered
+    experiment must be catalogued in ``repro.__main__.SUBCOMMANDS`` with
+    a non-empty one-line description, and every non-experiment
+    subcommand must be mentioned somewhere in ``README.md`` or
+    ``docs/``.
+    """
+    cli = importlib.import_module("repro.__main__")
+    problems: List[str] = []
+    for name in cli.EXPERIMENTS:
+        if name not in cli.SUBCOMMANDS:
+            problems.append(
+                f"CLI: experiment {name!r} missing from SUBCOMMANDS catalogue"
+            )
+    for name, description in cli.SUBCOMMANDS.items():
+        if not str(description).strip():
+            problems.append(f"CLI: subcommand {name!r} has an empty description")
+    corpus = "\n".join(p.read_text(encoding="utf-8") for p in doc_files(root))
+    for name in sorted(set(cli.SUBCOMMANDS) - set(cli.EXPERIMENTS)):
+        if name not in corpus:
+            problems.append(
+                f"CLI: subcommand {name!r} is not mentioned in README.md or docs/"
+            )
+    return problems
+
+
 def check_repo(root: Path = REPO_ROOT, required: Tuple[str, ...] = None) -> List[str]:
     """Lint every covered markdown file; returns all problems.
 
     ``required`` defaults to :data:`REQUIRED_DOCS` when linting the real
-    repository and to nothing for ad-hoc roots (the linter's own tests).
+    repository and to nothing for ad-hoc roots (the linter's own tests);
+    the CLI catalogue cross-check likewise runs only against the real
+    repository.
     """
     if required is None:
         required = REQUIRED_DOCS if root == REPO_ROOT else ()
@@ -168,6 +204,8 @@ def check_repo(root: Path = REPO_ROOT, required: Tuple[str, ...] = None) -> List
             problems.append(f"{name}: required document is missing")
     for path in doc_files(root):
         problems.extend(check_file(path, root))
+    if root == REPO_ROOT:
+        problems.extend(check_cli(root))
     return problems
 
 

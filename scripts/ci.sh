@@ -16,6 +16,10 @@
 #   5. static analysis — repo discipline lint over src/repro plus a
 #      symbolic shape check of the default training config; any
 #      violation fails the build (see docs/analysis.md).
+#   6. serve smoke — train + export an embedding store through the CLI,
+#      boot the HTTP API on an ephemeral port, issue real requests, and
+#      assert 200s with well-formed JSON plus a clean shutdown (see
+#      docs/serving.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -117,6 +121,47 @@ assert payload["ok"] and not payload["failed_passes"], payload
 shapes = payload["passes"]["shapes"]["shapes"]
 assert shapes["rating"] == "(B) float64", shapes
 print("analysis OK:", len(shapes), "named activations validated")
+PY
+
+echo "== serve smoke =="
+python -m repro export-embeddings --dataset yelpchi --scale 0.15 --epochs 1 \
+    --out "$SMOKE_DIR/store" > "$SMOKE_DIR/export.log"
+grep -q "verified against the live model" "$SMOKE_DIR/export.log" \
+    || { echo "export did not report verification"; exit 1; }
+python - "$SMOKE_DIR" <<'PY'
+import http.client
+import json
+import sys
+import threading
+from pathlib import Path
+
+sys.path.insert(0, "src")
+from repro.serve import make_server
+
+server, service = make_server(Path(sys.argv[1]) / "store", port=0)
+thread = threading.Thread(target=server.serve_forever, daemon=True)
+thread.start()
+host, port = server.server_address
+
+conn = http.client.HTTPConnection(host, port, timeout=10)
+for path, checks in [
+    ("/recommend?user=0&k=3", ("user_id", "recommendations")),
+    ("/explain?item=0&k=2", ("item_id", "explanations")),
+    ("/healthz", ("status",)),
+]:
+    conn.request("GET", path)
+    response = conn.getresponse()
+    assert response.status == 200, (path, response.status)
+    payload = json.loads(response.read())
+    for key in checks:
+        assert key in payload, (path, key, payload)
+conn.close()
+
+server.shutdown()
+server.close()
+thread.join(timeout=5.0)
+assert not thread.is_alive(), "server thread failed to stop"
+print(f"serve smoke OK: 3 endpoints on ephemeral port {port}, clean shutdown")
 PY
 
 echo "== CI green =="

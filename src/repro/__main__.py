@@ -18,6 +18,8 @@ Usage::
     python -m repro analyze                # all four static-analysis passes
     python -m repro analyze --lint src/repro  # repo discipline linter only
     python -m repro analyze --shapes --graph  # config + autograd validation
+    python -m repro export-embeddings --out store/  # train + export serving store
+    python -m repro serve --store store/ --port 8080  # online top-K HTTP API
 
 ``train`` fits RRRE once with full telemetry (per-layer forward/backward
 timings, gradient norms, phase timers — see ``docs/observability.md``)
@@ -35,6 +37,13 @@ validation of one real forward, finite-difference gradient checks of
 every ``repro.nn`` layer, and the repo discipline linter.  Pick passes
 with ``--shapes/--graph/--gradcheck/--lint`` (default: all four); the
 exit code is non-zero when any selected pass fails.
+
+``export-embeddings`` fits RRRE and factors the trained model into a
+serving-ready embedding store (see ``docs/serving.md``); ``serve``
+loads such a store and answers ``/recommend`` / ``/explain`` /
+``/healthz`` / ``/metrics`` over HTTP without ever re-encoding review
+text.  The full subcommand catalogue, with one-line descriptions, is in
+``python -m repro --help`` (driven by :data:`SUBCOMMANDS`).
 """
 
 from __future__ import annotations
@@ -77,18 +86,55 @@ EXPERIMENTS: Dict[str, tuple] = {
     "ablation-lambda": (run_ablation_lambda, False),
 }
 
+#: Every subcommand with a one-line description — drives the parser's
+#: choices, ``--help`` epilog, and ``list`` output, and is cross-checked
+#: against the docs by ``scripts/check_docs.py``.
+SUBCOMMANDS: Dict[str, str] = {
+    "table2": "dataset statistics next to the paper's (Table II)",
+    "table3": "bRMSE of all rating models across datasets (Table III)",
+    "table4": "AUC/AP of reliability scoring across datasets (Table IV)",
+    "table5": "top-K ranking quality, NDCG@k on YelpChi (Table V)",
+    "table6": "top-K ranking quality, NDCG@k on CDs (Table VI)",
+    "table7": "case study: rating→reliability re-ranked top-K (Table VII)",
+    "table8": "case study: reliable explanations for one item (Table VIII)",
+    "fig2": "training curves per embedding size k (Fig. 2)",
+    "fig3": "user input size s_u sweep (Fig. 3)",
+    "fig4": "item input size s_i sweep (Fig. 4)",
+    "ablation-attention": "ablate the review-attention module",
+    "ablation-encoder": "swap the review text encoder variants",
+    "ablation-lambda": "sweep the rating/reliability loss weight",
+    "all": "regenerate every table and figure in sequence",
+    "list": "print this subcommand catalogue and exit",
+    "train": "one telemetry-enabled RRRE fit (profiling, events, checkpoints)",
+    "watch": "render a trace event file as a live status board",
+    "analyze": "static-analysis suite: shapes, graph, gradcheck, lint",
+    "export-embeddings": "fit RRRE and export the serving embedding store",
+    "serve": "HTTP recommendation API over an exported store",
+}
+
+
+def _catalogue() -> str:
+    """The ``--help`` epilog: every subcommand with its description."""
+    width = max(len(name) for name in SUBCOMMANDS)
+    lines = ["subcommands:"]
+    for name in sorted(SUBCOMMANDS):
+        lines.append(f"  {name:<{width}}  {SUBCOMMANDS[name]}")
+    return "\n".join(lines)
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate tables/figures of the RRRE paper (ICDE 2021).",
+        description="Regenerate tables/figures of the RRRE paper (ICDE 2021), "
+        "or run the training/analysis/serving entry points.",
+        epilog=_catalogue(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "analyze", "list", "train", "watch"],
-        help="which artifact to regenerate ('train' for one profiled fit, "
-        "'watch' to render a trace event file, 'analyze' for the "
-        "static-analysis suite)",
+        metavar="subcommand",
+        choices=sorted(SUBCOMMANDS),
+        help="what to run (catalogue below)",
     )
     parser.add_argument(
         "path",
@@ -181,6 +227,64 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.5,
         help="for 'watch --follow': poll interval in seconds",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="for 'export-embeddings': store output directory "
+        "(default: stores/<dataset>)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="for 'export-embeddings': dataset/model seed (default 0)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="for 'serve': exported embedding-store directory (required)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="for 'serve': bind address"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="for 'serve': bind port (0 = ephemeral, printed at startup)",
+    )
+    parser.add_argument(
+        "--top-k",
+        type=int,
+        default=10,
+        help="for 'serve': default recommendations per request",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="for 'serve': micro-batch flush size",
+    )
+    parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="for 'serve': micro-batch flush deadline in milliseconds",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="for 'serve': result-cache entries (0 disables caching)",
+    )
+    parser.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=30.0,
+        help="for 'serve': result-cache time-to-live in seconds",
     )
     return parser
 
@@ -411,16 +515,85 @@ def run_analyze(
     return 1 if failed else 0
 
 
+def run_export(
+    dataset_name: str,
+    scale: float,
+    epochs: int,
+    seed: int,
+    out: Optional[str],
+) -> int:
+    """Fit RRRE and export the serving embedding store to ``out``.
+
+    The export is verified against the live model (store scores must
+    match ``predict_pairs``) before anything is written; the resulting
+    directory is what ``python -m repro serve --store DIR`` loads.
+    """
+    from .core import RRRETrainer, fast_config
+    from .data import load_dataset, train_test_split
+    from .serve import export_store
+
+    out = out or f"stores/{dataset_name}"
+    dataset = load_dataset(dataset_name, seed=seed, scale=scale)
+    train, test = train_test_split(dataset, seed=seed)
+    trainer = RRRETrainer(fast_config(epochs=epochs, seed=seed))
+    trainer.fit(dataset, train, test)
+    store = export_store(trainer, out_dir=out)
+    print(
+        f"exported store to {out}: {store.num_users} users, "
+        f"{store.num_items} items, {store.num_reviews} reviews "
+        f"(verified against the live model)"
+    )
+    return 0
+
+
+def run_serve(args) -> int:
+    """Serve an exported store over HTTP until interrupted."""
+    from .serve import ServeConfig, make_server
+
+    if not args.store:
+        print(
+            "serve needs an exported store: "
+            "python -m repro serve --store stores/yelpchi",
+            file=sys.stderr,
+        )
+        return 2
+    config = ServeConfig(
+        top_k=args.top_k,
+        max_batch_size=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        cache_size=args.cache_size,
+        cache_ttl=args.cache_ttl,
+    )
+    server, service = make_server(
+        args.store, host=args.host, port=args.port, config=config
+    )
+    host, port = server.server_address
+    # Flushed eagerly: with piped stdout the port announcement must be
+    # visible before serve_forever blocks (scripts parse it).
+    print(
+        f"serving {service.store.meta.get('dataset')} store "
+        f"({service.store.num_users} users, {service.store.num_items} items) "
+        f"on http://{host}:{port}",
+        flush=True,
+    )
+    print(f"try: curl 'http://{host}:{port}/recommend?user=0&k=5'", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.close()
+    return 0
+
+
 def main(argv=None) -> int:
     # Intermixed parsing lets the optional positional follow flags, as in
     # ``python -m repro analyze --lint src/repro``.
     args = build_parser().parse_intermixed_args(argv)
     if args.experiment == "list":
-        for name in sorted(EXPERIMENTS):
-            print(name)
-        print("analyze")
-        print("train")
-        print("watch")
+        width = max(len(name) for name in SUBCOMMANDS)
+        for name in sorted(SUBCOMMANDS):
+            print(f"{name:<{width}}  {SUBCOMMANDS[name]}")
         return 0
     if args.experiment == "train":
         if args.resume and not args.checkpoint_dir:
@@ -455,6 +628,12 @@ def main(argv=None) -> int:
         from .obs.watch import watch
 
         return watch(args.path, follow=args.follow, poll=args.poll)
+    if args.experiment == "export-embeddings":
+        return run_export(
+            args.dataset, args.scale, args.epochs, args.seed, args.out
+        )
+    if args.experiment == "serve":
+        return run_serve(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.report_json and len(names) > 1:
         print("--report-json needs a single experiment (not 'all')", file=sys.stderr)

@@ -16,7 +16,13 @@ from .encoder import (
 from .losses import JointLossParts, joint_loss
 from .model import BENIGN_CLASS, RRRE, RRREOutput
 from .nets import EntityNet
-from .recommend import Explanation, Recommendation, explain_item, recommend_items
+from .recommend import (
+    Explanation,
+    Recommendation,
+    explain_item,
+    rank_by_rating_then_reliability,
+    recommend_items,
+)
 from .semisupervised import SelfTrainingState, SemiSupervisedRRRETrainer
 from .trainer import EpochRecord, RRRETrainer
 
@@ -43,6 +49,7 @@ __all__ = [
     "fast_config",
     "joint_loss",
     "make_encoder",
+    "rank_by_rating_then_reliability",
     "recommend_items",
     "user_profile_attention",
 ]

@@ -48,6 +48,29 @@ class Explanation:
     actual_label: int
 
 
+def rank_by_rating_then_reliability(
+    ratings: np.ndarray,
+    reliabilities: np.ndarray,
+    top_k: int,
+) -> np.ndarray:
+    """The paper's two-stage re-rank as pure index arithmetic.
+
+    Take the ``top_k`` candidates by predicted rating, then reorder that
+    pool by predicted reliability; both sorts are stable so ties keep
+    input order.  Returns positions into ``ratings``/``reliabilities``
+    (full reordered pool — callers slice to their final K or filter by a
+    reliability floor first).  This is the scoring core shared by the
+    offline path (:func:`recommend_items`, :func:`explain_item`) and the
+    online serving path (:mod:`repro.serve`).
+    """
+    if top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
+    candidate_order = np.argsort(-ratings, kind="stable")[:top_k]
+    return candidate_order[
+        np.argsort(-reliabilities[candidate_order], kind="stable")
+    ]
+
+
 @traced("rank.recommend_items", kind="rank")
 def recommend_items(
     trainer: RRRETrainer,
@@ -78,10 +101,7 @@ def recommend_items(
     users = np.full(len(items), user_id, dtype=np.int64)
     ratings, reliabilities = trainer.predict_pairs(users, items)
 
-    candidate_order = np.argsort(-ratings, kind="stable")[:top_k]
-    rerank = candidate_order[
-        np.argsort(-reliabilities[candidate_order], kind="stable")
-    ][:final_k]
+    rerank = rank_by_rating_then_reliability(ratings, reliabilities, top_k)[:final_k]
     return [
         Recommendation(
             item_id=int(items[pos]),
@@ -121,10 +141,7 @@ def explain_item(
     items = np.full(len(review_indices), item_id, dtype=np.int64)
     ratings, reliabilities = trainer.predict_pairs(users, items)
 
-    candidate_order = np.argsort(-ratings, kind="stable")[:top_k]
-    rerank = candidate_order[
-        np.argsort(-reliabilities[candidate_order], kind="stable")
-    ]
+    rerank = rank_by_rating_then_reliability(ratings, reliabilities, top_k)
     results: List[Explanation] = []
     for pos in rerank:
         if reliabilities[pos] < min_reliability:

@@ -1,0 +1,52 @@
+"""``repro.serve`` — the online serving runtime.
+
+Answers "top-K for user u, with review-level explanations" as a live
+service instead of an offline table (ROADMAP item 1).  The pipeline:
+
+* :mod:`repro.serve.store` — :func:`export_store` factors a fitted
+  :class:`repro.core.RRRETrainer` into an :class:`EmbeddingStore` of
+  per-entity terms (``rating = A_u + B_i + p_u . q_i``,
+  ``reliability = sigmoid(a_u + c_i + b)``) plus per-review predicted
+  scores, persisted as memory-mappable ``.npy`` tables — serving never
+  re-encodes review text, and store scores are bitwise-equal to
+  ``predict_pairs``;
+* :mod:`repro.serve.retrieval` — :class:`Retriever`, dot-product
+  candidate generation over the item table + the paper's
+  rating→reliability re-rank (shared with the offline path via
+  :func:`repro.core.rank_by_rating_then_reliability`), explanations
+  attached from the precomputed review table;
+* :mod:`repro.serve.cache` — :class:`TTLCache`, the LRU+TTL result
+  cache in front of scoring (warm path);
+* :mod:`repro.serve.batcher` — :class:`MicroBatcher`, queue + worker
+  flushing on batch size or deadline so concurrent cold requests share
+  one fused scoring pass;
+* :mod:`repro.serve.service` — :class:`RecommendationService`, the
+  transport-independent composition with metrics + tracing and a
+  popularity fallback for unknown users;
+* :mod:`repro.serve.http` — the stdlib HTTP API
+  (``/recommend``, ``/explain``, ``/healthz``, ``/metrics``).
+
+CLI: ``python -m repro export-embeddings`` then ``python -m repro
+serve``; the full story is in ``docs/serving.md``.
+"""
+
+from .batcher import MicroBatcher
+from .cache import CacheStats, TTLCache
+from .http import RecommendationServer, make_server
+from .retrieval import Retriever
+from .service import RecommendationService, ServeConfig
+from .store import STORE_VERSION, EmbeddingStore, export_store
+
+__all__ = [
+    "CacheStats",
+    "EmbeddingStore",
+    "MicroBatcher",
+    "RecommendationServer",
+    "RecommendationService",
+    "Retriever",
+    "STORE_VERSION",
+    "ServeConfig",
+    "TTLCache",
+    "export_store",
+    "make_server",
+]

@@ -1,0 +1,158 @@
+"""Request micro-batching: amortize vectorized scoring across callers.
+
+Scoring one user against the item table is a dot product; scoring
+sixteen is one matmul — nearly the same wall time.  The
+:class:`MicroBatcher` exploits that: concurrent callers ``submit()``
+work items and block on a future; a single worker thread drains the
+queue and flushes a batch to the handler when either
+
+* **size** — ``max_batch_size`` items are waiting, or
+* **deadline** — ``max_wait`` seconds passed since the *oldest* queued
+  item arrived (bounds added latency for lone requests).
+
+The handler receives the item list and must return one result per item,
+in order; results (or the handler's exception) are routed back through
+each caller's future.  Flush reasons and batch sizes are observable via
+a per-flush callback so the service can export them as metrics.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = ["MicroBatcher"]
+
+#: Sentinel queued to wake the worker for shutdown.
+_STOP = object()
+
+
+class MicroBatcher:
+    """Queue + worker thread flushing on batch size or deadline.
+
+    Parameters
+    ----------
+    handler:
+        ``handler(items) -> results`` with ``len(results) == len(items)``.
+        Runs on the worker thread; an exception fails every future of
+        that batch (the batcher itself keeps running).
+    max_batch_size:
+        Flush as soon as this many items are queued.
+    max_wait:
+        Flush at most this many seconds after the first item of a batch
+        arrived, even if the batch is smaller.
+    on_flush:
+        Optional ``on_flush(size, reason)`` observer, ``reason`` in
+        ``{"size", "deadline", "close"}`` — the metrics hook.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[Sequence[Any]], Sequence[Any]],
+        max_batch_size: int = 16,
+        max_wait: float = 0.005,
+        on_flush: Optional[Callable[[int, str], None]] = None,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        self.handler = handler
+        self.max_batch_size = max_batch_size
+        self.max_wait = max_wait
+        self.on_flush = on_flush
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = threading.Event()
+        self._worker = threading.Thread(
+            target=self._run, name="repro-serve-batcher", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, item: Any) -> "Future":
+        """Enqueue one item; the future resolves to its handler result."""
+        if self._closed.is_set():
+            raise RuntimeError("batcher is closed")
+        future: "Future" = Future()
+        self._queue.put((item, future))
+        return future
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Drain remaining items, stop the worker, reject new submits."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._queue.put(_STOP)
+        self._worker.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            first = self._queue.get()
+            if first is _STOP:
+                self._flush_remaining()
+                return
+            batch: List[Any] = [first]
+            deadline = time.monotonic() + self.max_wait
+            reason = "deadline"
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    entry = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if entry is _STOP:
+                    self._dispatch(batch, "close")
+                    self._flush_remaining()
+                    return
+                batch.append(entry)
+            if len(batch) >= self.max_batch_size:
+                reason = "size"
+            self._dispatch(batch, reason)
+
+    def _flush_remaining(self) -> None:
+        """Serve whatever is still queued at close time (reason="close")."""
+        leftovers: List[Any] = []
+        while True:
+            try:
+                entry = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if entry is not _STOP:
+                leftovers.append(entry)
+        if leftovers:
+            self._dispatch(leftovers, "close")
+
+    def _dispatch(self, batch: List[Any], reason: str) -> None:
+        items = [item for item, _ in batch]
+        futures = [future for _, future in batch]
+        if self.on_flush is not None:
+            try:
+                self.on_flush(len(batch), reason)
+            except Exception:  # observer must never break serving
+                pass
+        try:
+            results = self.handler(items)
+            if len(results) != len(items):
+                raise RuntimeError(
+                    f"handler returned {len(results)} results for {len(items)} items"
+                )
+        except BaseException as exc:
+            for future in futures:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for future, result in zip(futures, results):
+            if not future.done():
+                future.set_result(result)

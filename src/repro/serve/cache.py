@@ -1,0 +1,131 @@
+"""LRU + TTL result cache for the serving hot path.
+
+A bounded mapping with two eviction triggers: least-recently-used order
+once ``max_size`` entries exist, and a per-entry time-to-live so served
+recommendations never outlive ``ttl`` seconds (the knob that bounds how
+stale a cached top-K can get after a re-export).  Reads refresh recency;
+expired entries count as misses and are dropped on access.
+
+The clock is injectable (monotonic by default) so tests control time
+instead of sleeping.  All operations are O(1) under one lock — the
+cache sits in front of the micro-batcher, so a hit never touches the
+scoring path at all.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+__all__ = ["CacheStats", "TTLCache"]
+
+
+class CacheStats:
+    """Running counters of one cache's traffic (thread-safe snapshots)."""
+
+    __slots__ = ("hits", "misses", "expirations", "evictions")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.expirations = 0
+        self.evictions = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "expirations": self.expirations,
+            "evictions": self.evictions,
+            "hit_ratio": self.hit_ratio,
+        }
+
+
+class TTLCache:
+    """Thread-safe LRU cache whose entries expire after ``ttl`` seconds.
+
+    Parameters
+    ----------
+    max_size:
+        Entry budget; inserting beyond it evicts the least recently
+        *used* entry (reads count as use).
+    ttl:
+        Seconds an entry stays servable.  ``None`` disables expiry and
+        leaves only LRU eviction.
+    clock:
+        0-arg callable returning seconds; defaults to
+        ``time.monotonic`` (immune to wall-clock jumps).  Injected by
+        tests to step time explicitly.
+    """
+
+    def __init__(
+        self,
+        max_size: int = 1024,
+        ttl: Optional[float] = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be positive (or None), got {ttl}")
+        self.max_size = max_size
+        self.ttl = ttl
+        self.stats = CacheStats()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Tuple[float, Any]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> Tuple[bool, Any]:
+        """Look up ``key``; returns ``(hit, value)``.
+
+        A hit refreshes the entry's recency.  An expired entry is
+        removed, counted under ``stats.expirations``, and reported as a
+        miss.
+        """
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return False, None
+            stored_at, value = entry
+            if self.ttl is not None and now - stored_at >= self.ttl:
+                del self._entries[key]
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return False, None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return True, value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/overwrite ``key``; evicts the LRU entry when full."""
+        now = self._clock()
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+            elif len(self._entries) >= self.max_size:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            self._entries[key] = (now, value)
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns whether it existed."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept)."""
+        with self._lock:
+            self._entries.clear()

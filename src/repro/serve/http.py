@@ -1,0 +1,131 @@
+"""Stdlib HTTP front-end for the recommendation service.
+
+A thin JSON API on ``http.server.ThreadingHTTPServer`` — no new
+dependencies, one thread per connection, all real work delegated to the
+shared (thread-safe) :class:`~repro.serve.RecommendationService`:
+
+====================================  =================================
+``GET /recommend?user=U[&k=K]``       top-K with explanation payloads
+``GET /explain?item=I[&k=K]``         explanations for one item
+``GET /healthz``                      liveness + store shape + cache stats
+``GET /metrics``                      Prometheus text exposition
+====================================  =================================
+
+Request lifecycle, error mapping, and curl examples live in
+``docs/serving.md``.  Bind port 0 for an ephemeral port (tests, CI
+smoke); ``server.server_address`` reports the bound one.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from .service import RecommendationService, ServeConfig
+
+__all__ = ["RecommendationServer", "make_server"]
+
+
+class RecommendationServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` owning one service instance."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: RecommendationService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+    def close(self) -> None:
+        """Shut the listener down and stop the service's batcher."""
+        self.server_close()
+        self.service.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the owning server's service; JSON in, JSON out."""
+
+    server: RecommendationServer
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        parsed = urlparse(self.path)
+        query = parse_qs(parsed.query)
+        service = self.server.service
+        try:
+            if parsed.path == "/recommend":
+                user = self._int_param(query, "user", required=True)
+                k = self._int_param(query, "k")
+                explain_k = self._int_param(query, "explain_k")
+                self._send_json(200, service.recommend(user, k, explain_k))
+            elif parsed.path == "/explain":
+                item = self._int_param(query, "item", required=True)
+                k = self._int_param(query, "k")
+                self._send_json(200, service.explain(item, k))
+            elif parsed.path == "/healthz":
+                self._send_json(200, service.health())
+            elif parsed.path == "/metrics":
+                body = service.registry.to_prometheus().encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", "text/plain; version=0.0.4")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            else:
+                self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
+        except _BadRequest as exc:
+            self._send_json(400, {"error": str(exc)})
+        except IndexError as exc:
+            self._send_json(404, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover — defensive 500
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    # ------------------------------------------------------------------
+    def _int_param(self, query, name: str, required: bool = False) -> Optional[int]:
+        values = query.get(name)
+        if not values:
+            if required:
+                raise _BadRequest(f"missing required query parameter {name!r}")
+            return None
+        try:
+            return int(values[0])
+        except ValueError:
+            raise _BadRequest(f"{name!r} must be an integer, got {values[0]!r}")
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args) -> None:
+        """Silence per-request stderr chatter; metrics carry the signal."""
+
+
+class _BadRequest(ValueError):
+    """Maps to an HTTP 400 response."""
+
+
+def make_server(
+    store,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    config: Optional[ServeConfig] = None,
+    service: Optional[RecommendationService] = None,
+) -> Tuple[RecommendationServer, RecommendationService]:
+    """Build a ready-to-run server; returns ``(server, service)``.
+
+    ``store`` is an :class:`~repro.serve.EmbeddingStore` or a path to an
+    exported store directory; pass a prepared ``service`` instead to
+    reuse its registry/cache.  ``port=0`` binds an ephemeral port —
+    read the actual one off ``server.server_address``.  Call
+    ``server.serve_forever()`` to block, ``server.close()`` to stop.
+    """
+    if service is None:
+        service = RecommendationService(store, config=config)
+    server = RecommendationServer((host, port), service)
+    return server, service

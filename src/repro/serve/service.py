@@ -1,0 +1,290 @@
+"""The recommendation service: store → cache → batcher → retriever.
+
+:class:`RecommendationService` is the transport-independent core behind
+the HTTP API (and directly usable in-process).  One request flows:
+
+1. **cache** — an LRU+TTL lookup keyed on ``(user, k, explain_k)``;
+   a warm hit returns immediately, touching no scoring code at all;
+2. **batcher** — on a miss the request joins the micro-batch queue and
+   blocks until its flush (size- or deadline-triggered);
+3. **retriever** — the flushed batch is scored in one fused pass over
+   the embedding store, re-ranked, and explanations attached;
+4. **fallback** — a user outside the store's id space degrades
+   gracefully to the popularity ranking instead of erroring.
+
+Every stage records into the service's :class:`~repro.obs.MetricsRegistry`
+(request latency histograms, QPS-able counters, cache hit/miss, batch
+size distribution — family reference in ``docs/observability.md``) and
+emits ``serve.*`` spans on the ambient tracer when one is installed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import use_metrics
+from repro.obs.trace import maybe_span
+
+from .batcher import MicroBatcher
+from .cache import TTLCache
+from .retrieval import Retriever
+from .store import EmbeddingStore
+
+__all__ = ["RecommendationService", "ServeConfig"]
+
+#: Histogram buckets for request latency (seconds) — serving targets
+#: single-digit milliseconds, far below the training-flavoured defaults.
+_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+)
+
+#: Histogram buckets for micro-batch sizes (requests per flush).
+_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of one serving process (documented in ``docs/serving.md``).
+
+    Attributes
+    ----------
+    top_k:
+        Default recommendations per request (overridable per query).
+    candidate_pool:
+        Rating-sorted pool size fed to the reliability re-rank.
+    explain_k / explain_pool / min_reliability:
+        Explanation payload: reviews served per item, candidate pool per
+        item, and the reliability floor below which a review is filtered.
+    max_batch_size / max_wait_ms:
+        Micro-batcher flush triggers (size, deadline).
+    cache_size / cache_ttl:
+        LRU entry budget and seconds-to-live of cached results;
+        ``cache_size=0`` disables caching.
+    request_timeout:
+        Seconds a request waits on its batch flush before failing.
+    """
+
+    top_k: int = 10
+    candidate_pool: int = 50
+    explain_k: int = 2
+    explain_pool: int = 5
+    min_reliability: float = 0.5
+    max_batch_size: int = 16
+    max_wait_ms: float = 2.0
+    cache_size: int = 1024
+    cache_ttl: float = 30.0
+    request_timeout: float = 10.0
+
+
+class RecommendationService:
+    """Serve top-K recommendations with explanations from a store.
+
+    Parameters
+    ----------
+    store:
+        An :class:`EmbeddingStore` (or a path to one, loaded mmap'd).
+    config:
+        :class:`ServeConfig`; defaults serve ~millisecond warm paths.
+    registry:
+        Metrics sink; a fresh :class:`~repro.obs.MetricsRegistry` is
+        created when omitted (exposed at ``/metrics`` by the HTTP API).
+    clock:
+        Injectable cache clock (tests step time explicitly).
+    """
+
+    def __init__(
+        self,
+        store,
+        config: Optional[ServeConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        clock=time.monotonic,
+    ) -> None:
+        if not isinstance(store, EmbeddingStore):
+            store = EmbeddingStore.load(store)
+        self.store = store
+        self.config = config or ServeConfig()
+        self.registry = registry or MetricsRegistry()
+        self.retriever = Retriever(
+            store,
+            candidate_pool=self.config.candidate_pool,
+            explain_pool=self.config.explain_pool,
+            min_reliability=self.config.min_reliability,
+        )
+        self.cache: Optional[TTLCache] = None
+        if self.config.cache_size > 0:
+            self.cache = TTLCache(
+                max_size=self.config.cache_size,
+                ttl=self.config.cache_ttl or None,
+                clock=clock,
+            )
+        self.batcher = MicroBatcher(
+            self._score_batch,
+            max_batch_size=self.config.max_batch_size,
+            max_wait=self.config.max_wait_ms / 1000.0,
+            on_flush=self._record_flush,
+        )
+        self._started = clock()
+        self._clock = clock
+
+        reg = self.registry
+        self._requests = reg.counter(
+            "repro_serve_requests_total",
+            "Requests served, by endpoint and outcome",
+            labels=("endpoint", "status"),
+        )
+        self._latency = reg.histogram(
+            "repro_serve_request_seconds",
+            "End-to-end request latency (seconds)",
+            labels=("endpoint",),
+            buckets=_LATENCY_BUCKETS,
+        )
+        self._cache_events = reg.counter(
+            "repro_serve_cache_events_total",
+            "Result-cache lookups, by outcome",
+            labels=("result",),
+        )
+        self._batch_sizes = reg.histogram(
+            "repro_serve_batch_size",
+            "Requests per micro-batch flush",
+            buckets=_BATCH_BUCKETS,
+        )
+        self._flushes = reg.counter(
+            "repro_serve_batch_flushes_total",
+            "Micro-batch flushes, by trigger",
+            labels=("reason",),
+        )
+        self._fallbacks = reg.counter(
+            "repro_serve_fallbacks_total",
+            "Requests degraded to the popularity fallback",
+        )
+        rows = reg.gauge(
+            "repro_serve_store_rows", "Embedding-store table sizes", labels=("table",)
+        )
+        rows.labels(table="users").set(store.num_users)
+        rows.labels(table="items").set(store.num_items)
+        rows.labels(table="reviews").set(store.num_reviews)
+
+    # ------------------------------------------------------------------
+    def recommend(
+        self,
+        user_id: int,
+        k: Optional[int] = None,
+        explain_k: Optional[int] = None,
+    ) -> Dict:
+        """Top-K for ``user_id`` with explanation payloads.
+
+        Returns a JSON-ready dict; ``served_from`` reports the path
+        taken (``cache`` / ``model`` / ``fallback``).  Unknown users get
+        the popularity fallback instead of an error.
+        """
+        k = self.config.top_k if k is None else int(k)
+        explain_k = self.config.explain_k if explain_k is None else int(explain_k)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        start = time.perf_counter()
+        user_id = int(user_id)
+        with maybe_span("serve.request", kind="serve", user=user_id, k=k):
+            if not self.store.knows_user(user_id):
+                recs = self.retriever.popular_items(k, explain_k)
+                self._fallbacks.labels().inc()
+                payload = self._payload(
+                    user_id, k, recs, served_from="fallback", fallback="popularity"
+                )
+                self._finish("recommend", "fallback", start)
+                return payload
+            key = (user_id, k, explain_k)
+            if self.cache is not None:
+                with maybe_span("serve.cache", kind="serve"):
+                    hit, cached = self.cache.get(key)
+                self._cache_events.labels(result="hit" if hit else "miss").inc()
+                if hit:
+                    payload = self._payload(user_id, k, cached, served_from="cache")
+                    self._finish("recommend", "hit", start)
+                    return payload
+            recs = self.batcher.submit((user_id, k, explain_k)).result(
+                timeout=self.config.request_timeout
+            )
+            if self.cache is not None:
+                self.cache.put(key, recs)
+            payload = self._payload(user_id, k, recs, served_from="model")
+            self._finish("recommend", "miss", start)
+            return payload
+
+    def explain(self, item_id: int, k: Optional[int] = None) -> Dict:
+        """Explanation payload for one item (no user context needed)."""
+        k = self.config.explain_k if k is None else int(k)
+        start = time.perf_counter()
+        item_id = int(item_id)
+        if not 0 <= item_id < self.store.num_items:
+            self._finish("explain", "bad_item", start)
+            raise IndexError(
+                f"item_id {item_id} outside [0, {self.store.num_items})"
+            )
+        with maybe_span("serve.explain", kind="serve", item=item_id):
+            explanations = self.retriever.explain(item_id, k)
+        self._finish("explain", "ok", start)
+        return {
+            "item_id": item_id,
+            "item_name": str(self.store.item_names[item_id]),
+            "explanations": explanations,
+        }
+
+    def health(self) -> Dict:
+        """Liveness payload: store shape, cache stats, uptime."""
+        payload = {
+            "status": "ok",
+            "dataset": self.store.meta.get("dataset"),
+            "users": self.store.num_users,
+            "items": self.store.num_items,
+            "reviews": self.store.num_reviews,
+            "uptime_seconds": self._clock() - self._started,
+        }
+        if self.cache is not None:
+            payload["cache"] = self.cache.stats.to_dict()
+        return payload
+
+    def close(self) -> None:
+        """Stop the batcher worker (idempotent)."""
+        self.batcher.close()
+
+    def __enter__(self) -> "RecommendationService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _score_batch(self, requests):
+        """Micro-batcher handler: fused scoring under this registry."""
+        with use_metrics(self.registry):
+            with maybe_span("serve.batch", kind="serve", size=len(requests)):
+                return self.retriever.recommend_batch(requests)
+
+    def _record_flush(self, size: int, reason: str) -> None:
+        self._batch_sizes.labels().observe(size)
+        self._flushes.labels(reason=reason).inc()
+
+    def _payload(
+        self,
+        user_id: int,
+        k: int,
+        recommendations,
+        served_from: str,
+        fallback: Optional[str] = None,
+    ) -> Dict:
+        return {
+            "user_id": user_id,
+            "k": k,
+            "served_from": served_from,
+            "fallback": fallback,
+            "recommendations": recommendations,
+        }
+
+    def _finish(self, endpoint: str, status: str, start: float) -> None:
+        self._requests.labels(endpoint=endpoint, status=status).inc()
+        self._latency.labels(endpoint=endpoint).observe(
+            time.perf_counter() - start
+        )

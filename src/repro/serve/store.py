@@ -1,0 +1,400 @@
+"""The serving embedding store: trained state factored for O(dot) scoring.
+
+Serving must answer "top-K for user u" without re-encoding a single
+review, so the store exploits an exact algebraic factorization of both
+RRRE heads.  In eval mode the profiles ``x_u`` / ``y_i`` depend only on
+the user / item respectively, which lets every (u, i) score decompose
+into per-entity pieces computed once at export time:
+
+* **Rating (Eq. 12)** — the FM over ``z = [z_u, z_i]`` with
+  ``z_u = e_u + W_h x_u`` splits as::
+
+      rating(u, i) = A_u + B_i + p_u . q_i
+
+  where ``p_u = V_u^T z_u`` / ``q_i = V_i^T z_i`` are the FM factor
+  projections and ``A_u`` / ``B_i`` absorb the bias, linear, and
+  intra-entity pairwise terms.  Candidate generation is therefore an
+  *exact* dot product over the item table — no approximation.
+* **Reliability (Eq. 9-10)** — the two-class softmax reduces to
+  ``sigmoid(a_u + c_i + b)`` with ``a_u = x_u . (W[:,1]-W[:,0])_user``
+  and ``c_i`` the item half.
+
+The store persists those per-entity arrays, the per-review predicted
+(rating, reliability) pairs that power explanation payloads, review
+metadata (author, item, text, actual rating/label) in CSR layout by
+item, and popularity statistics for the unknown-user fallback — one
+``.npy`` file per array (memory-mappable) plus a ``meta.json`` sidecar.
+
+Scores served from the store are bitwise-equal to
+``RRRETrainer.predict_pairs`` (including the rating clip to the
+observed training range); ``export_store`` verifies that on a sample
+before writing anything.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro import __version__
+
+#: Store layout version; bump on any array/meta schema change.
+STORE_VERSION = 1
+
+#: Array files the store writes and expects (name -> required).
+_ARRAYS = (
+    "user_factors",      # (U, f)  p_u — FM factor projection of z_u
+    "user_bias",         # (U,)    A_u — user-only rating terms
+    "user_rel",          # (U,)    a_u — user half of the reliability logit
+    "item_factors",      # (I, f)  q_i
+    "item_bias",         # (I,)    B_i
+    "item_rel",          # (I,)    c_i
+    "review_users",      # (R,)    author id per review (dataset order)
+    "review_items",      # (R,)    item id per review
+    "review_ratings",    # (R,)    actual rating r_ui
+    "review_labels",     # (R,)    ground-truth reliability label
+    "review_pred_rating",       # (R,) model rating for (author, item)
+    "review_pred_reliability",  # (R,) model P(benign) for (author, item)
+    "item_review_indptr",   # (I+1,) CSR: reviews of item i are indices[indptr[i]:indptr[i+1]]
+    "item_review_indices",  # (R,)   CSR column: dataset review indices, time-sorted
+    "user_seen_indptr",     # (U+1,) CSR: items user u reviewed in training
+    "user_seen_items",      # (*,)
+    "item_popularity",      # (I,)   training review count per item
+    "item_mean_rating",     # (I,)   mean observed rating (fallback payload)
+    "item_mean_reliability",  # (I,) mean predicted reliability of the item's reviews
+    "review_texts",      # (R,)    raw review text (fixed-width unicode)
+    "user_names",        # (U,)
+    "item_names",        # (I,)
+)
+
+
+@dataclass
+class EmbeddingStore:
+    """In-memory (or memory-mapped) view of an exported store directory.
+
+    Arrays are exactly the per-entity factorization described in the
+    module docstring; :meth:`score_users` reconstructs full score rows
+    from them.  Load with ``mmap=True`` (the default) to keep large
+    tables on disk and page them in on demand.
+    """
+
+    arrays: Dict[str, np.ndarray]
+    meta: Dict[str, object]
+    path: Optional[Path] = None
+    _rel_bias: float = field(init=False)
+    _rating_low: float = field(init=False)
+    _rating_high: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        missing = [name for name in _ARRAYS if name not in self.arrays]
+        if missing:
+            raise ValueError(f"store is missing arrays: {missing}")
+        self._rel_bias = float(self.meta["rel_bias"])
+        low, high = self.meta["rating_range"]
+        self._rating_low = float(low)
+        self._rating_high = float(high)
+
+    # -- convenience accessors ----------------------------------------
+    def __getattr__(self, name: str) -> np.ndarray:
+        arrays = self.__dict__.get("arrays")
+        if arrays is not None and name in arrays:
+            return arrays[name]
+        raise AttributeError(name)
+
+    @property
+    def num_users(self) -> int:
+        return int(self.arrays["user_bias"].shape[0])
+
+    @property
+    def num_items(self) -> int:
+        return int(self.arrays["item_bias"].shape[0])
+
+    @property
+    def num_reviews(self) -> int:
+        return int(self.arrays["review_users"].shape[0])
+
+    def knows_user(self, user_id: int) -> bool:
+        """Whether ``user_id`` falls inside the exported id space."""
+        return 0 <= user_id < self.num_users
+
+    def seen_items(self, user_id: int) -> np.ndarray:
+        """Item ids the user reviewed in training (CSR slice)."""
+        indptr = self.arrays["user_seen_indptr"]
+        return self.arrays["user_seen_items"][indptr[user_id] : indptr[user_id + 1]]
+
+    def item_reviews(self, item_id: int) -> np.ndarray:
+        """Dataset review indices of one item, time-sorted (CSR slice)."""
+        indptr = self.arrays["item_review_indptr"]
+        return self.arrays["item_review_indices"][indptr[item_id] : indptr[item_id + 1]]
+
+    # -- scoring -------------------------------------------------------
+    def score_users(self, user_ids: np.ndarray):
+        """Full score rows for a batch of known users.
+
+        Returns ``(ratings, reliabilities)`` of shape ``(B, num_items)``,
+        equal to what ``RRRETrainer.predict_pairs`` would produce for
+        every (u, i) pair — ratings clipped to the observed training
+        range, reliabilities as P(benign).
+        """
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        ratings = (
+            self.arrays["user_factors"][user_ids] @ self.arrays["item_factors"].T
+        )
+        ratings += self.arrays["user_bias"][user_ids, None]
+        ratings += self.arrays["item_bias"][None, :]
+        np.clip(ratings, self._rating_low, self._rating_high, out=ratings)
+        logits = (
+            self.arrays["user_rel"][user_ids, None]
+            + self.arrays["item_rel"][None, :]
+            + self._rel_bias
+        )
+        reliabilities = 1.0 / (1.0 + np.exp(-logits))
+        return ratings, reliabilities
+
+    def score_pairs(self, user_ids: np.ndarray, item_ids: np.ndarray):
+        """Scores for aligned (u, i) pairs (store-side ``predict_pairs``)."""
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        ratings = np.sum(
+            self.arrays["user_factors"][user_ids]
+            * self.arrays["item_factors"][item_ids],
+            axis=1,
+        )
+        ratings += self.arrays["user_bias"][user_ids]
+        ratings += self.arrays["item_bias"][item_ids]
+        np.clip(ratings, self._rating_low, self._rating_high, out=ratings)
+        logits = (
+            self.arrays["user_rel"][user_ids]
+            + self.arrays["item_rel"][item_ids]
+            + self._rel_bias
+        )
+        return ratings, 1.0 / (1.0 + np.exp(-logits))
+
+    # -- persistence ---------------------------------------------------
+    def save(self, out_dir) -> Path:
+        """Write one ``.npy`` per array plus ``meta.json``; returns the dir."""
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for name in _ARRAYS:
+            np.save(out / f"{name}.npy", np.ascontiguousarray(self.arrays[name]))
+        (out / "meta.json").write_text(
+            json.dumps(self.meta, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        self.path = out
+        return out
+
+    @classmethod
+    def load(cls, path, mmap: bool = True) -> "EmbeddingStore":
+        """Load a store directory; ``mmap=True`` memory-maps every array."""
+        root = Path(path)
+        meta_path = root / "meta.json"
+        if not meta_path.exists():
+            raise FileNotFoundError(f"{root} is not an embedding store (no meta.json)")
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        if meta.get("store_version") != STORE_VERSION:
+            raise ValueError(
+                f"store version {meta.get('store_version')!r} != {STORE_VERSION}; "
+                "re-export with `python -m repro export-embeddings`"
+            )
+        mode = "r" if mmap else None
+        arrays = {
+            name: np.load(root / f"{name}.npy", mmap_mode=mode) for name in _ARRAYS
+        }
+        return cls(arrays=arrays, meta=meta, path=root)
+
+
+def _entity_profiles(trainer, side: str, batch_size: int) -> np.ndarray:
+    """Eval-mode profiles ``x_u`` (side="user") or ``y_i`` (side="item")."""
+    from repro.core.model import _encode_slots
+
+    model, slots, table = trainer.model, trainer.slots, trainer.table
+    if side == "user":
+        count = model.user_id_embedding.num_embeddings
+        encoder, net = model.user_encoder, model.user_net
+        slot_matrix, slot_mask = slots.user_slots, slots.user_slot_mask
+        own_emb, other_emb = model.user_id_embedding, model.item_id_embedding
+        counterparts = slots.user_slot_items
+    else:
+        count = model.item_id_embedding.num_embeddings
+        encoder, net = model.item_encoder, model.item_net
+        slot_matrix, slot_mask = slots.item_slots, slots.item_slot_mask
+        own_emb, other_emb = model.item_id_embedding, model.user_id_embedding
+        counterparts = slots.item_slot_users
+    profiles = np.empty((count, model.config.review_dim))
+    for start in range(0, count, batch_size):
+        ids = np.arange(start, min(start + batch_size, count), dtype=np.int64)
+        reviews = _encode_slots(encoder, slot_matrix[ids], table)
+        pooled, _ = net(
+            reviews, own_emb(ids), other_emb(counterparts[ids]), slot_mask[ids]
+        )
+        profiles[ids] = pooled.data
+    return profiles
+
+
+def export_store(
+    trainer,
+    out_dir=None,
+    batch_size: int = 256,
+    verify_pairs: int = 64,
+) -> EmbeddingStore:
+    """Factor a fitted trainer into an :class:`EmbeddingStore`.
+
+    Encodes every user and item profile exactly once (the last time any
+    review text is touched — serving is pure array arithmetic from here
+    on), projects them through the rating/reliability heads into the
+    per-entity terms described in the module docstring, and precomputes
+    per-review predictions and fallback statistics.
+
+    ``verify_pairs`` (> 0) asserts store scores match
+    ``trainer.predict_pairs`` on that many deterministic (u, i) pairs
+    before anything is written.  ``out_dir=None`` returns the in-memory
+    store without persisting.
+    """
+    trainer._require_fitted()
+    model, dataset = trainer.model, trainer.dataset
+    model.eval()
+    from repro.obs.trace import maybe_span
+
+    with maybe_span("serve.export.profiles", kind="serve"):
+        x_u = _entity_profiles(trainer, "user", batch_size)  # (U, k)
+        y_i = _entity_profiles(trainer, "item", batch_size)  # (I, k)
+
+    k = model.config.review_dim
+    d = model.config.id_dim
+    e_u = model.user_id_embedding.weight.data  # (U, d)
+    e_i = model.item_id_embedding.weight.data  # (I, d)
+
+    # Reliability head: logits = [x_u, y_i] @ W + b, P(benign) via the
+    # two-class softmax == sigmoid of the logit difference.
+    w_rel = model.reliability_head.weight.data  # (2k, 2)
+    b_rel = model.reliability_head.bias.data  # (2,)
+    d_w = w_rel[:, 1] - w_rel[:, 0]
+    user_rel = x_u @ d_w[:k]
+    item_rel = y_i @ d_w[k:]
+    rel_bias = float(b_rel[1] - b_rel[0])
+
+    # Rating head: FM([(e_u + W_h x_u), (e_i + W_e y_i)]) decomposed.
+    z_u = e_u + x_u @ model.w_h.weight.data  # (U, d)
+    z_i = e_i + y_i @ model.w_e.weight.data  # (I, d)
+    w0 = float(model.fm.global_bias.data[0])
+    w_lin = model.fm.linear.data[:, 0]  # (2d,)
+    factors = model.fm.factors.data  # (2d, f)
+    v_u, v_i = factors[:d], factors[d:]
+    p_u = z_u @ v_u  # (U, f)
+    q_i = z_i @ v_i  # (I, f)
+    user_bias = (
+        w0
+        + z_u @ w_lin[:d]
+        + 0.5 * ((p_u**2).sum(axis=1) - (z_u**2) @ (v_u**2).sum(axis=1))
+    )
+    item_bias = (
+        z_i @ w_lin[d:]
+        + 0.5 * ((q_i**2).sum(axis=1) - (z_i**2) @ (v_i**2).sum(axis=1))
+    )
+
+    low, high = getattr(trainer, "_rating_range", (1.0, 5.0))
+
+    # Per-review predictions for explanation payloads: the model's
+    # (rating, reliability) for each review's (author, item) pair.
+    r_users, r_items = dataset.user_ids, dataset.item_ids
+    review_pred_rating = (
+        user_bias[r_users]
+        + item_bias[r_items]
+        + np.sum(p_u[r_users] * q_i[r_items], axis=1)
+    )
+    np.clip(review_pred_rating, low, high, out=review_pred_rating)
+    review_pred_reliability = 1.0 / (
+        1.0 + np.exp(-(user_rel[r_users] + item_rel[r_items] + rel_bias))
+    )
+
+    # CSR indexes: reviews by item (time-sorted, matching
+    # dataset.reviews_by_item) and seen items by user.
+    item_counts = np.array(
+        [len(rows) for rows in dataset.reviews_by_item], dtype=np.int64
+    )
+    item_review_indptr = np.zeros(dataset.num_items + 1, dtype=np.int64)
+    np.cumsum(item_counts, out=item_review_indptr[1:])
+    item_review_indices = np.array(
+        [idx for rows in dataset.reviews_by_item for idx in rows], dtype=np.int64
+    )
+    seen_lists = [
+        sorted({int(dataset.item_ids[idx]) for idx in rows})
+        for rows in dataset.reviews_by_user
+    ]
+    user_seen_indptr = np.zeros(dataset.num_users + 1, dtype=np.int64)
+    np.cumsum(
+        np.array([len(s) for s in seen_lists], dtype=np.int64),
+        out=user_seen_indptr[1:],
+    )
+    user_seen_items = np.array(
+        [item for s in seen_lists for item in s], dtype=np.int64
+    )
+
+    sums = np.zeros(dataset.num_items)
+    np.add.at(sums, r_items, dataset.ratings)
+    item_mean_rating = sums / np.maximum(item_counts, 1)
+    rel_sums = np.zeros(dataset.num_items)
+    np.add.at(rel_sums, r_items, review_pred_reliability)
+    item_mean_reliability = rel_sums / np.maximum(item_counts, 1)
+
+    arrays = {
+        "user_factors": p_u,
+        "user_bias": user_bias,
+        "user_rel": user_rel,
+        "item_factors": q_i,
+        "item_bias": item_bias,
+        "item_rel": item_rel,
+        "review_users": r_users,
+        "review_items": r_items,
+        "review_ratings": dataset.ratings,
+        "review_labels": dataset.labels,
+        "review_pred_rating": review_pred_rating,
+        "review_pred_reliability": review_pred_reliability,
+        "item_review_indptr": item_review_indptr,
+        "item_review_indices": item_review_indices,
+        "user_seen_indptr": user_seen_indptr,
+        "user_seen_items": user_seen_items,
+        "item_popularity": item_counts,
+        "item_mean_rating": item_mean_rating,
+        "item_mean_reliability": item_mean_reliability,
+        "review_texts": np.array([r.text for r in dataset.reviews]),
+        "user_names": np.array(dataset.user_names),
+        "item_names": np.array(dataset.item_names),
+    }
+    meta = {
+        "store_version": STORE_VERSION,
+        "library_version": __version__,
+        "dataset": dataset.name,
+        "num_users": dataset.num_users,
+        "num_items": dataset.num_items,
+        "num_reviews": len(dataset.reviews),
+        "factor_dim": int(p_u.shape[1]),
+        "rel_bias": rel_bias,
+        "rating_range": [float(low), float(high)],
+        "encoder": model.config.encoder,
+        "seed": model.config.seed,
+    }
+    store = EmbeddingStore(arrays=arrays, meta=meta)
+
+    if verify_pairs:
+        rng = np.random.default_rng(0)
+        users = rng.integers(0, dataset.num_users, size=verify_pairs)
+        items = rng.integers(0, dataset.num_items, size=verify_pairs)
+        got = store.score_pairs(users, items)
+        want = trainer.predict_pairs(users, items)
+        np.testing.assert_allclose(
+            got[0], want[0], rtol=1e-9, atol=1e-9,
+            err_msg="store ratings diverge from the model",
+        )
+        np.testing.assert_allclose(
+            got[1], want[1], rtol=1e-9, atol=1e-9,
+            err_msg="store reliabilities diverge from the model",
+        )
+
+    if out_dir is not None:
+        store.save(out_dir)
+    return store

@@ -156,7 +156,8 @@ class TestTrainCli:
 
     def test_list_mentions_train(self, capsys):
         assert main(["list"]) == 0
-        assert "train" in capsys.readouterr().out.splitlines()
+        lines = capsys.readouterr().out.splitlines()
+        assert any(line.split()[0] == "train" for line in lines if line.strip())
 
     def test_report_json_rejected_for_all(self, tmp_path, capsys):
         code = main(["all", "--report-json", str(tmp_path / "x.json")])
@@ -225,4 +226,5 @@ class TestTracedTrainCli:
 
     def test_list_mentions_watch(self, capsys):
         assert main(["list"]) == 0
-        assert "watch" in capsys.readouterr().out.splitlines()
+        lines = capsys.readouterr().out.splitlines()
+        assert any(line.split()[0] == "watch" for line in lines if line.strip())

@@ -1,0 +1,28 @@
+"""Shared fixtures for the serving tests: one small trained model and
+its exported embedding store, built once per session (training dominates
+the suite's cost; everything downstream is array arithmetic)."""
+
+import pytest
+
+from repro.core import RRRETrainer, fast_config
+from repro.data import load_dataset, train_test_split
+from repro.serve import EmbeddingStore, export_store
+
+
+@pytest.fixture(scope="session")
+def fitted_trainer():
+    dataset = load_dataset("yelpchi", seed=3, scale=0.1)
+    train, _ = train_test_split(dataset, seed=3)
+    return RRRETrainer(fast_config(epochs=1, seed=3)).fit(dataset, train)
+
+
+@pytest.fixture(scope="session")
+def store_dir(fitted_trainer, tmp_path_factory):
+    out = tmp_path_factory.mktemp("embedding_store")
+    export_store(fitted_trainer, out_dir=out)
+    return out
+
+
+@pytest.fixture(scope="session")
+def store(store_dir):
+    return EmbeddingStore.load(store_dir)

@@ -1,0 +1,125 @@
+"""MicroBatcher: flush triggers, result routing, failure semantics."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import MicroBatcher
+
+
+class Recorder:
+    """Handler that records every flushed batch (and can block)."""
+
+    def __init__(self, gate=None):
+        self.batches = []
+        self.flushes = []
+        self.gate = gate
+        self.lock = threading.Lock()
+
+    def __call__(self, items):
+        if self.gate is not None:
+            self.gate.wait(timeout=5.0)
+        with self.lock:
+            self.batches.append(list(items))
+        return [item * 2 for item in items]
+
+    def on_flush(self, size, reason):
+        self.flushes.append((size, reason))
+
+
+class TestMicroBatcher:
+    def test_flush_on_size(self):
+        gate = threading.Event()
+        handler = Recorder(gate=gate)
+        with MicroBatcher(
+            handler, max_batch_size=4, max_wait=30.0, on_flush=handler.on_flush
+        ) as batcher:
+            # The worker blocks on the gate, so all four submits queue up
+            # and the flush trigger must be size, not the 30 s deadline.
+            futures = [batcher.submit(i) for i in range(4)]
+            gate.set()
+            assert [f.result(timeout=5.0) for f in futures] == [0, 2, 4, 6]
+        sizes = [size for size, _ in handler.flushes]
+        assert 4 in sizes
+        assert any(reason == "size" for size, reason in handler.flushes if size == 4)
+
+    def test_flush_on_deadline(self):
+        handler = Recorder()
+        with MicroBatcher(
+            handler, max_batch_size=64, max_wait=0.01, on_flush=handler.on_flush
+        ) as batcher:
+            future = batcher.submit(21)
+            assert future.result(timeout=5.0) == 42
+        assert handler.batches == [[21]]
+        assert handler.flushes[0] == (1, "deadline")
+
+    def test_zero_wait_serves_singletons(self):
+        handler = Recorder()
+        with MicroBatcher(handler, max_batch_size=8, max_wait=0.0) as batcher:
+            assert batcher.submit(1).result(timeout=5.0) == 2
+            assert batcher.submit(2).result(timeout=5.0) == 4
+
+    def test_handler_exception_fails_the_batch_only(self):
+        calls = []
+
+        def handler(items):
+            calls.append(list(items))
+            if calls and calls[-1] == [13]:
+                raise RuntimeError("boom")
+            return list(items)
+
+        with MicroBatcher(handler, max_batch_size=1, max_wait=0.0) as batcher:
+            bad = batcher.submit(13)
+            with pytest.raises(RuntimeError, match="boom"):
+                bad.result(timeout=5.0)
+            # The worker survives a failing batch and keeps serving.
+            assert batcher.submit(7).result(timeout=5.0) == 7
+
+    def test_result_count_mismatch_is_an_error(self):
+        with MicroBatcher(lambda items: [1], max_batch_size=4, max_wait=30.0) as b:
+            futures = [b.submit(i) for i in range(4)]
+            with pytest.raises(RuntimeError, match="4 items"):
+                futures[0].result(timeout=5.0)
+
+    def test_close_drains_queue_and_rejects_new_work(self):
+        gate = threading.Event()
+        handler = Recorder(gate=gate)
+        batcher = MicroBatcher(
+            handler, max_batch_size=2, max_wait=30.0, on_flush=handler.on_flush
+        )
+        futures = [batcher.submit(i) for i in range(5)]
+
+        def release():
+            time.sleep(0.05)
+            gate.set()
+
+        threading.Thread(target=release).start()
+        batcher.close()
+        assert [f.result(timeout=5.0) for f in futures] == [0, 2, 4, 6, 8]
+        with pytest.raises(RuntimeError):
+            batcher.submit(99)
+        batcher.close()  # idempotent
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda items: items, max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda items: items, max_wait=-1.0)
+
+    def test_concurrent_submitters_all_get_results(self):
+        handler = Recorder()
+        results = {}
+
+        with MicroBatcher(handler, max_batch_size=8, max_wait=0.002) as batcher:
+
+            def client(i):
+                results[i] = batcher.submit(i).result(timeout=5.0)
+
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(20)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert results == {i: i * 2 for i in range(20)}
+        assert sum(len(b) for b in handler.batches) == 20

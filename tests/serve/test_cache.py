@@ -1,0 +1,118 @@
+"""TTLCache: LRU eviction, TTL expiry, stats bookkeeping."""
+
+import threading
+
+import pytest
+
+from repro.serve import TTLCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTTLCache:
+    def test_miss_then_hit(self):
+        cache = TTLCache(max_size=4, ttl=None)
+        hit, value = cache.get("a")
+        assert not hit and value is None
+        cache.put("a", 1)
+        hit, value = cache.get("a")
+        assert hit and value == 1
+
+    def test_lru_eviction_order(self):
+        cache = TTLCache(max_size=2, ttl=None)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a")[0]  # touch "a" so "b" is now least recent
+        cache.put("c", 3)  # evicts "b"
+        assert cache.get("a") == (True, 1)
+        assert cache.get("b") == (False, None)
+        assert cache.get("c") == (True, 3)
+        assert cache.stats.evictions == 1
+
+    def test_put_existing_key_does_not_evict(self):
+        cache = TTLCache(max_size=2, ttl=None)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # update, not insert
+        assert len(cache) == 2
+        assert cache.get("a") == (True, 10)
+        assert cache.get("b") == (True, 2)
+        assert cache.stats.evictions == 0
+
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        cache = TTLCache(max_size=4, ttl=5.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(4.9)
+        assert cache.get("a") == (True, 1)
+        clock.advance(0.2)  # now 5.1 seconds after the put
+        hit, value = cache.get("a")
+        assert not hit and value is None
+        assert cache.stats.expirations == 1
+        assert len(cache) == 0  # the expired entry was removed
+
+    def test_no_ttl_never_expires(self):
+        clock = FakeClock()
+        cache = TTLCache(max_size=4, ttl=None, clock=clock)
+        cache.put("a", 1)
+        clock.advance(10_000)
+        assert cache.get("a") == (True, 1)
+
+    def test_invalidate_and_clear(self):
+        cache = TTLCache(max_size=4, ttl=None)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        assert cache.get("a") == (False, None)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("b") == (False, None)
+
+    def test_stats_hit_ratio(self):
+        cache = TTLCache(max_size=4, ttl=None)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats
+        assert stats.hits == 2
+        assert stats.misses == 1
+        assert stats.hit_ratio == pytest.approx(2 / 3)
+        payload = stats.to_dict()
+        assert payload["hits"] == 2 and payload["misses"] == 1
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            TTLCache(max_size=0)
+        with pytest.raises(ValueError):
+            TTLCache(max_size=4, ttl=-1.0)
+
+    def test_thread_safety_smoke(self):
+        cache = TTLCache(max_size=64, ttl=None)
+        errors = []
+
+        def worker(base):
+            try:
+                for i in range(200):
+                    cache.put((base, i % 32), i)
+                    cache.get((base, (i + 1) % 32))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 64

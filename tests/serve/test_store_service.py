@@ -1,0 +1,207 @@
+"""Embedding store + service semantics against a real trained model:
+export parity, offline/online agreement, warm-path guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.core import recommend_items
+from repro.obs import Tracer, use_tracer
+from repro.serve import (
+    EmbeddingStore,
+    RecommendationService,
+    Retriever,
+    ServeConfig,
+    export_store,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def scored_pairs_total(service):
+    return service.registry.get("repro_serve_scored_pairs_total").labels().value
+
+
+class TestStoreExport:
+    def test_store_matches_predict_pairs(self, fitted_trainer, store):
+        rng = np.random.default_rng(7)
+        users = rng.integers(0, store.num_users, size=200)
+        items = rng.integers(0, store.num_items, size=200)
+        got_r, got_l = store.score_pairs(users, items)
+        want_r, want_l = fitted_trainer.predict_pairs(users, items)
+        np.testing.assert_allclose(got_r, want_r, rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(got_l, want_l, rtol=1e-9, atol=1e-9)
+
+    def test_score_users_matches_score_pairs(self, store):
+        users = np.array([0, 1])
+        ratings, reliabilities = store.score_users(users)
+        assert ratings.shape == (2, store.num_items)
+        for row, user in enumerate(users):
+            pair_r, pair_l = store.score_pairs(
+                np.full(store.num_items, user), np.arange(store.num_items)
+            )
+            np.testing.assert_array_equal(ratings[row], pair_r)
+            np.testing.assert_array_equal(reliabilities[row], pair_l)
+
+    def test_roundtrip_preserves_arrays_and_meta(self, store, fitted_trainer):
+        in_memory = export_store(fitted_trainer, out_dir=None, verify_pairs=8)
+        assert store.meta["dataset"] == in_memory.meta["dataset"]
+        assert store.meta["num_reviews"] == store.num_reviews
+        np.testing.assert_array_equal(
+            np.asarray(store.user_factors), in_memory.user_factors
+        )
+        np.testing.assert_array_equal(
+            np.asarray(store.review_pred_reliability),
+            in_memory.review_pred_reliability,
+        )
+
+    def test_load_rejects_non_store_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            EmbeddingStore.load(tmp_path)
+
+    def test_csr_indexes_are_consistent(self, store, fitted_trainer):
+        dataset = fitted_trainer.dataset
+        for item in range(store.num_items):
+            np.testing.assert_array_equal(
+                store.item_reviews(item),
+                np.asarray(dataset.reviews_by_item[item], dtype=np.int64),
+            )
+        for user in range(store.num_users):
+            seen = {int(dataset.item_ids[i]) for i in dataset.reviews_by_user[user]}
+            assert set(store.seen_items(user).tolist()) == seen
+
+
+class TestOfflineOnlineParity:
+    def test_retriever_matches_recommend_items(self, fitted_trainer, store):
+        retriever = Retriever(store, candidate_pool=50)
+        for user in range(min(10, store.num_users)):
+            offline = recommend_items(
+                fitted_trainer, user_id=user, top_k=50, final_k=4
+            )
+            (online,) = retriever.recommend_batch([(user, 4, 0)])
+            assert [r["item_id"] for r in online] == [r.item_id for r in offline]
+            for got, want in zip(online, offline):
+                assert got["predicted_rating"] == pytest.approx(
+                    want.predicted_rating, rel=1e-9
+                )
+                assert got["predicted_reliability"] == pytest.approx(
+                    want.predicted_reliability, rel=1e-9
+                )
+
+
+class TestService:
+    def test_cold_then_warm_are_identical_without_rescoring(self, store):
+        tracer = Tracer()
+        with RecommendationService(store, ServeConfig(top_k=3)) as service:
+            with use_tracer(tracer):
+                cold = service.recommend(0)
+                scored_after_cold = scored_pairs_total(service)
+                score_spans_cold = [
+                    e
+                    for e in tracer.events
+                    if e.get("event") == "span_begin"
+                    and e.get("name") == "serve.score"
+                ]
+                warm = service.recommend(0)
+        assert cold["served_from"] == "model"
+        assert warm["served_from"] == "cache"
+        assert cold["recommendations"] == warm["recommendations"]
+        # The warm path never touches scoring: the fused-score span count
+        # and the scored-pair counter are both frozen after the cold call.
+        assert len(score_spans_cold) == 1
+        score_spans = [
+            e
+            for e in tracer.events
+            if e.get("event") == "span_begin" and e.get("name") == "serve.score"
+        ]
+        assert len(score_spans) == 1
+        assert scored_pairs_total(service) == scored_after_cold
+        hits = service.registry.get("repro_serve_cache_events_total")
+        assert hits.labels(result="hit").value == 1
+        assert hits.labels(result="miss").value == 1
+
+    def test_unknown_user_falls_back_to_popularity(self, store):
+        with RecommendationService(store, ServeConfig(top_k=3)) as service:
+            payload = service.recommend(store.num_users + 100)
+        assert payload["served_from"] == "fallback"
+        assert payload["fallback"] == "popularity"
+        recs = payload["recommendations"]
+        assert recs
+        counts = [r["review_count"] for r in recs]
+        assert counts == sorted(counts, reverse=True)
+        fallback_total = None
+        with RecommendationService(store) as service:
+            service.recommend(-1)
+            fallback_total = (
+                service.registry.get("repro_serve_fallbacks_total").labels().value
+            )
+        assert fallback_total == 1
+
+    def test_explanations_cite_real_reviews(self, store, fitted_trainer):
+        dataset = fitted_trainer.dataset
+        with RecommendationService(
+            store, ServeConfig(top_k=3, explain_k=2, min_reliability=0.0)
+        ) as service:
+            payload = service.recommend(0)
+        assert payload["recommendations"]
+        cited = 0
+        for rec in payload["recommendations"]:
+            for expl in rec["explanations"]:
+                idx = expl["review_index"]
+                assert 0 <= idx < store.num_reviews
+                # The cited review really is a review *of this item* by
+                # the named user, with the dataset's own text.
+                assert int(store.review_items[idx]) == rec["item_id"]
+                assert dataset.reviews[idx].text == expl["text"]
+                assert dataset.user_names[expl["user_id"]] == expl["user_name"]
+                cited += 1
+        assert cited > 0
+
+    def test_ttl_expiry_rescores(self, store):
+        clock = FakeClock()
+        config = ServeConfig(top_k=3, cache_ttl=5.0)
+        with RecommendationService(store, config, clock=clock) as service:
+            first = service.recommend(1)
+            clock.now = 10.0  # past the TTL
+            again = service.recommend(1)
+        assert first["served_from"] == "model"
+        assert again["served_from"] == "model"
+        assert first["recommendations"] == again["recommendations"]
+
+    def test_cache_disabled(self, store):
+        with RecommendationService(
+            store, ServeConfig(top_k=3, cache_size=0)
+        ) as service:
+            assert service.cache is None
+            assert service.recommend(0)["served_from"] == "model"
+            assert service.recommend(0)["served_from"] == "model"
+
+    def test_loads_store_from_path(self, store_dir):
+        with RecommendationService(store_dir, ServeConfig(top_k=2)) as service:
+            payload = service.recommend(0)
+        assert payload["served_from"] == "model"
+        assert len(payload["recommendations"]) <= 2
+
+    def test_explain_validates_item(self, store):
+        with RecommendationService(store) as service:
+            with pytest.raises(IndexError):
+                service.explain(store.num_items + 5)
+
+    def test_recommend_validates_k(self, store):
+        with RecommendationService(store) as service:
+            with pytest.raises(ValueError):
+                service.recommend(0, k=0)
+
+    def test_health_payload(self, store):
+        with RecommendationService(store) as service:
+            service.recommend(0)
+            health = service.health()
+        assert health["status"] == "ok"
+        assert health["users"] == store.num_users
+        assert health["items"] == store.num_items
+        assert health["cache"]["misses"] >= 1

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.__main__ import EXPERIMENTS, build_parser, main, run_one
+from repro.__main__ import EXPERIMENTS, SUBCOMMANDS, build_parser, main, run_one
 
 
 class TestParser:
@@ -22,11 +22,43 @@ class TestParser:
         assert expected <= set(EXPERIMENTS)
 
 
+class TestSubcommandCatalogue:
+    def test_every_experiment_is_catalogued(self):
+        assert set(EXPERIMENTS) <= set(SUBCOMMANDS)
+
+    def test_every_subcommand_has_a_description(self):
+        for name, description in SUBCOMMANDS.items():
+            assert description.strip(), f"{name} has an empty description"
+
+    def test_catalogue_matches_parser_choices(self):
+        # The parser accepts exactly the catalogued subcommands.
+        parser = build_parser()
+        for name in SUBCOMMANDS:
+            assert parser.parse_args([name]).experiment == name
+        with pytest.raises(SystemExit):
+            parser.parse_args(["not-a-subcommand"])
+
+    def test_help_enumerates_every_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for name, description in SUBCOMMANDS.items():
+            assert name in out
+            assert description in out
+
+    def test_serve_requires_a_store(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--store" in capsys.readouterr().err
+
+
 class TestExecution:
     def test_list_returns_zero(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "table3" in out
+        # list prints the catalogue with descriptions, not bare names.
+        assert SUBCOMMANDS["serve"] in out
 
     def test_run_one_table2(self, capsys):
         run_one("table2", scale=0.2, seeds=1, epochs=1)
