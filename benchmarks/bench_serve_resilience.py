@@ -1,0 +1,233 @@
+"""Benchmark: the cost of serving resilience, and resilience under fire.
+
+Trains a small RRRE model, publishes its store as a versioned root, and
+drives a live in-process :class:`repro.serve.RecommendationService`
+through three measured phases:
+
+* **baseline** — healthy traffic with deadlines + admission + breaker
+  active: p50/p95 latency and shed rate (the steady-state cost of the
+  resilience machinery);
+* **faulted** — the same traffic with chaos-injected scoring faults
+  (periodic slow + failing passes): p50/p95, shed rate, how many
+  requests each degradation rung answered, and the hard guarantees —
+  zero unhandled errors and no request past its deadline + ladder
+  reserve;
+* **hot-reload** — repeated re-export + validate + swap under the same
+  closed-loop read traffic: swap latency percentiles (validation is the
+  dominant term — every table is re-hashed and the parity sample
+  recomputed).
+
+Writes ``benchmarks/out/BENCH_serve_resilience.json`` so the trajectory
+catches both latency-cost regressions (baseline creep) and resilience
+regressions (faulted phase erroring or slowing).  In-process like the
+throughput bench — the point is the service pipeline, not sockets.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from types import SimpleNamespace
+
+import numpy as np
+
+from conftest import bench_out_dir, bench_scale
+
+from repro.core import RRRETrainer, fast_config
+from repro.data import load_dataset, train_test_split
+from repro.obs import write_bench_artifact
+from repro.resilience import ChaosEngine
+from repro.serve import (
+    DeadlineExceeded,
+    RecommendationService,
+    ServeConfig,
+    ServerOverloaded,
+    ServiceUnavailable,
+    export_store,
+)
+
+#: Concurrent closed-loop clients in the traffic phases.
+CLIENTS = 4
+
+#: Requests each client issues per phase.
+REQUESTS_PER_CLIENT = 60
+
+#: Per-request deadline used by the bench traffic (milliseconds).
+DEADLINE_MS = 200.0
+
+#: Every Nth scoring pass is faulted in the chaos phase.
+FAULT_EVERY = 4
+
+#: Store versions published (and swapped in) during the reload phase.
+RELOADS = 3
+
+
+def _config():
+    return ServeConfig(
+        top_k=5,
+        cache_size=256,
+        cache_ttl=0.05,  # short TTL: entries go stale fast → ladder fodder
+        deadline_ms=DEADLINE_MS,
+        breaker_failures=3,
+        breaker_reset_s=0.1,
+    )
+
+
+def _drive(service, num_users, offset):
+    """Closed-loop traffic; returns latencies + outcome tallies."""
+    latencies = []
+    outcomes = {"ok": 0, "degraded": 0, "shed": 0, "deadline": 0, "unavailable": 0}
+    lock_free_rows = []
+
+    def client(worker):
+        rows = []
+        rng = np.random.default_rng(2000 + offset + worker)
+        users = rng.integers(0, num_users, size=REQUESTS_PER_CLIENT)
+        for user in users:
+            begin = time.perf_counter()
+            try:
+                payload = service.recommend(int(user))
+                kind = "degraded" if payload["degraded"] else "ok"
+            except ServerOverloaded:
+                kind = "shed"
+            except DeadlineExceeded:
+                kind = "deadline"
+            except ServiceUnavailable:
+                kind = "unavailable"
+            rows.append((time.perf_counter() - begin, kind))
+        return rows
+
+    with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+        for rows in pool.map(client, range(CLIENTS)):
+            lock_free_rows.extend(rows)
+    for elapsed, kind in lock_free_rows:
+        latencies.append(elapsed)
+        outcomes[kind] += 1
+    latencies = np.array(latencies)
+    total = int(latencies.size)
+    return {
+        "requests": total,
+        "p50_ms": float(np.percentile(latencies, 50) * 1e3),
+        "p95_ms": float(np.percentile(latencies, 95) * 1e3),
+        "max_ms": float(latencies.max() * 1e3),
+        "shed_rate": outcomes["shed"] / total,
+        "outcomes": outcomes,
+    }
+
+
+def serve_resilience(scale, tmp_root):
+    dataset = load_dataset("yelpchi", seed=0, scale=scale)
+    train, _ = train_test_split(dataset, seed=0)
+    trainer = RRRETrainer(fast_config(epochs=1, seed=0)).fit(dataset, train)
+    root = tmp_root / "stores"
+    store = export_store(trainer, out_dir=root, versioned=True)
+
+    # Baseline: resilience machinery on, no faults.
+    with RecommendationService(root, _config()) as service:
+        baseline = _drive(service, store.num_users, 0)
+
+    # Faulted: every FAULT_EVERY-th scoring pass stalls past the budget's
+    # scoring share, every (FAULT_EVERY+1)-th raises; the ladder answers.
+    chaos = ChaosEngine(seed=0)
+    expected_calls = CLIENTS * REQUESTS_PER_CLIENT  # upper bound on passes
+    for call in range(1, expected_calls + 1):
+        if call % FAULT_EVERY == 0:
+            chaos.slow_score_at(call, seconds=DEADLINE_MS / 1e3)
+        elif call % FAULT_EVERY == 1 and call > 1:
+            chaos.fail_score_at(call)
+    with RecommendationService(root, _config(), chaos=chaos) as service:
+        faulted = _drive(service, store.num_users, 100)
+        faulted["faults_fired"] = len(chaos.fired)
+        faulted["breaker_transitions"] = len(service.breaker.transitions)
+
+    # Hot-reload: swap fresh versions in under concurrent read traffic.
+    swap_ms = []
+    with RecommendationService(root, _config()) as service:
+        stop = []
+
+        def reader():
+            rng = np.random.default_rng(9)
+            while not stop:
+                service.recommend(int(rng.integers(0, store.num_users)))
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            readers = [pool.submit(reader) for _ in range(2)]
+            for _ in range(RELOADS):
+                export_store(trainer, out_dir=root, versioned=True)
+                begin = time.perf_counter()
+                service.reload_store()
+                swap_ms.append((time.perf_counter() - begin) * 1e3)
+            stop.append(True)
+            for future in readers:
+                future.result()
+        final_version = service.store.path.name
+
+    reload_stats = {
+        "swaps": len(swap_ms),
+        "p50_ms": float(np.percentile(swap_ms, 50)),
+        "max_ms": float(max(swap_ms)),
+        "final_version": final_version,
+    }
+
+    data = {
+        "baseline": baseline,
+        "faulted": faulted,
+        "hot_reload": reload_stats,
+        "store": {
+            "users": store.num_users,
+            "items": store.num_items,
+            "reviews": store.num_reviews,
+        },
+    }
+    lines = ["serve resilience (closed-loop, in-process):"]
+    for name, row in (("baseline", baseline), ("faulted", faulted)):
+        lines.append(
+            f"  {name:>8}: p50 {row['p50_ms']:7.2f} ms, p95 {row['p95_ms']:7.2f} ms, "
+            f"shed {row['shed_rate']:.1%}, outcomes {row['outcomes']}"
+        )
+    lines.append(
+        f"  hot-reload swap: p50 {reload_stats['p50_ms']:.2f} ms, "
+        f"max {reload_stats['max_ms']:.2f} ms over {reload_stats['swaps']} swaps "
+        f"(validation included), final {final_version}"
+    )
+    return SimpleNamespace(data=data, rendered="\n".join(lines))
+
+
+def test_serve_resilience(benchmark, tmp_path):
+    scale = bench_scale()
+    start = time.perf_counter()
+    report = benchmark.pedantic(
+        serve_resilience, args=(scale, tmp_path), rounds=1, iterations=1
+    )
+    seconds = time.perf_counter() - start
+    print("\n" + report.rendered)
+
+    out_dir = bench_out_dir()
+    if out_dir is not None:
+        write_bench_artifact(
+            out_dir,
+            "serve_resilience",
+            report.data,
+            timing={"seconds": seconds},
+            params={
+                "scale": scale,
+                "clients": CLIENTS,
+                "deadline_ms": DEADLINE_MS,
+                "fault_every": FAULT_EVERY,
+                "reloads": RELOADS,
+            },
+            rendered=report.rendered,
+        )
+
+    baseline, faulted = report.data["baseline"], report.data["faulted"]
+    # Hard guarantees, not just trends: every request was answered (ok,
+    # degraded, or a *structured* shed/deadline/503 — never an unhandled
+    # error), chaos actually fired, and the ladder absorbed faults.
+    assert sum(baseline["outcomes"].values()) == baseline["requests"]
+    assert sum(faulted["outcomes"].values()) == faulted["requests"]
+    assert baseline["outcomes"]["unavailable"] == 0
+    assert faulted["faults_fired"] > 0
+    assert faulted["outcomes"]["degraded"] > 0
+    # No request may outlive its budget by more than the ladder reserve
+    # plus scheduling slack.
+    assert faulted["max_ms"] < DEADLINE_MS * 3
+    assert report.data["hot_reload"]["swaps"] == RELOADS
+    assert report.data["hot_reload"]["final_version"] == f"v{RELOADS + 1:04d}"

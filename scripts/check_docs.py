@@ -48,6 +48,7 @@ REQUIRED_DOCS = (
     "docs/resilience.md",
     "docs/analysis.md",
     "docs/serving.md",
+    "docs/serving_resilience.md",
 )
 
 #: A dotted name rooted at the package, e.g. ``repro.nn.functional.relu``.

@@ -20,6 +20,11 @@
 #      boot the HTTP API on an ephemeral port, issue real requests, and
 #      assert 200s with well-formed JSON plus a clean shutdown (see
 #      docs/serving.md).
+#   7. serve-chaos smoke — boot a server with injected scoring faults:
+#      /healthz must flip to degraded (breaker open) while the ladder
+#      keeps answering with labelled degraded payloads, then recover;
+#      a corrupt store version offered to hot-reload must be rejected
+#      with the old store still serving (see docs/serving_resilience.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -162,6 +167,94 @@ server.close()
 thread.join(timeout=5.0)
 assert not thread.is_alive(), "server thread failed to stop"
 print(f"serve smoke OK: 3 endpoints on ephemeral port {port}, clean shutdown")
+PY
+
+echo "== serve-chaos smoke =="
+python - "$SMOKE_DIR" <<'PY'
+import http.client
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, "src")
+from repro.resilience import ChaosEngine
+from repro.serve import (
+    EmbeddingStore,
+    RecommendationService,
+    ServeConfig,
+    make_server,
+)
+
+smoke = Path(sys.argv[1])
+
+# Republish the flat smoke store as a versioned root (reload fodder).
+store = EmbeddingStore.load(smoke / "store", mmap=False)
+root = smoke / "store-versions"
+store.save_versioned(root)  # v0001, the version the service boots on
+
+# Scoring calls 1-2 fail -> breaker (threshold 2) opens; later calls heal.
+chaos = ChaosEngine(seed=0).fail_score_at(1).fail_score_at(2)
+config = ServeConfig(cache_size=0, breaker_failures=2, breaker_reset_s=0.2)
+service = RecommendationService(root, config=config, chaos=chaos)
+server, _ = make_server(None, port=0, service=service)
+thread = threading.Thread(target=server.serve_forever, daemon=True)
+thread.start()
+host, port = server.server_address
+
+
+def get(path, method="GET"):
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    conn.request(method, path)
+    response = conn.getresponse()
+    payload = json.loads(response.read())
+    conn.close()
+    return response.status, payload
+
+
+# Faulted requests: answered by the ladder, labelled, never a 500.
+for user in (0, 1):
+    status, payload = get(f"/recommend?user={user}&k=3")
+    assert status == 200, (status, payload)
+    assert payload["degraded"] == "popularity", payload["degraded"]
+
+status, health = get("/healthz")
+assert health["status"] == "degraded", health
+assert health["breaker"]["state"] == "open", health["breaker"]
+
+# After the reset window the half-open probe succeeds: health recovers.
+time.sleep(0.25)
+status, payload = get("/recommend?user=2&k=3")
+assert status == 200 and payload["degraded"] is None, payload
+status, health = get("/healthz")
+assert health["status"] == "ok", health
+assert health["breaker"]["state"] == "closed", health["breaker"]
+
+# Hot-reload: a corrupted candidate must be rejected (409) with the old
+# version still live; an intact pointer target must swap cleanly.
+assert health["store_version"] == "v0001", health
+store.save_versioned(root)  # v0002: the candidate, about to be damaged
+ChaosEngine(seed=1).corrupt_store_table(root / "v0002", "item_factors")
+status, payload = get("/reload", method="POST")
+assert status == 409 and payload.get("rolled_back"), (status, payload)
+status, health = get("/healthz")
+assert health["store_version"] == "v0001", health
+assert health["last_reload"]["outcome"] == "rejected", health["last_reload"]
+store.save_versioned(root)  # v0003, intact; CURRENT now names it
+status, payload = get("/reload", method="POST")
+assert status == 200 and payload["outcome"] == "ok", (status, payload)
+status, health = get("/healthz")
+assert health["store_version"] == "v0003", health
+status, payload = get("/recommend?user=0&k=3")
+assert status == 200 and payload["degraded"] is None, payload
+
+server.shutdown()
+server.close()
+thread.join(timeout=5.0)
+assert not thread.is_alive(), "server thread failed to stop"
+print(f"serve-chaos smoke OK: degraded->recovered, corrupt reload rejected "
+      f"and rolled back on port {port}")
 PY
 
 echo "== CI green =="

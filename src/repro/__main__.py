@@ -242,10 +242,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="for 'export-embeddings': dataset/model seed (default 0)",
     )
     parser.add_argument(
+        "--versioned",
+        action="store_true",
+        help="for 'export-embeddings': publish into a versioned root "
+        "(vNNNN/ + manifest + CURRENT pointer; enables hot-reload)",
+    )
+    parser.add_argument(
         "--store",
         metavar="DIR",
         default=None,
-        help="for 'serve': exported embedding-store directory (required)",
+        help="for 'serve': exported embedding-store directory or "
+        "versioned root (required)",
     )
     parser.add_argument(
         "--host", default="127.0.0.1", help="for 'serve': bind address"
@@ -285,6 +292,28 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=30.0,
         help="for 'serve': result-cache time-to-live in seconds",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=250.0,
+        help="for 'serve': default per-request deadline in milliseconds "
+        "(0 disables deadlines)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="for 'serve': admission bound on concurrent requests "
+        "(excess load is shed with 503 + Retry-After)",
+    )
+    parser.add_argument(
+        "--watch-store",
+        type=float,
+        metavar="SECONDS",
+        default=0.0,
+        help="for 'serve': poll the versioned root's CURRENT pointer at "
+        "this interval and hot-reload on change (0 disables)",
     )
     return parser
 
@@ -521,12 +550,16 @@ def run_export(
     epochs: int,
     seed: int,
     out: Optional[str],
+    versioned: bool = False,
 ) -> int:
     """Fit RRRE and export the serving embedding store to ``out``.
 
     The export is verified against the live model (store scores must
     match ``predict_pairs``) before anything is written; the resulting
     directory is what ``python -m repro serve --store DIR`` loads.
+    ``versioned=True`` publishes into ``out`` as a versioned root
+    (``vNNNN/`` + SHA-256 manifest + ``CURRENT`` pointer) — the layout
+    the serving hot-reload path consumes.
     """
     from .core import RRRETrainer, fast_config
     from .data import load_dataset, train_test_split
@@ -537,9 +570,10 @@ def run_export(
     train, test = train_test_split(dataset, seed=seed)
     trainer = RRRETrainer(fast_config(epochs=epochs, seed=seed))
     trainer.fit(dataset, train, test)
-    store = export_store(trainer, out_dir=out)
+    store = export_store(trainer, out_dir=out, versioned=versioned)
+    where = store.path if store.path is not None else out
     print(
-        f"exported store to {out}: {store.num_users} users, "
+        f"exported store to {where}: {store.num_users} users, "
         f"{store.num_items} items, {store.num_reviews} reviews "
         f"(verified against the live model)"
     )
@@ -563,10 +597,14 @@ def run_serve(args) -> int:
         max_wait_ms=args.max_wait_ms,
         cache_size=args.cache_size,
         cache_ttl=args.cache_ttl,
+        deadline_ms=args.deadline_ms,
+        max_inflight=args.max_inflight,
     )
     server, service = make_server(
         args.store, host=args.host, port=args.port, config=config
     )
+    if args.watch_store > 0:
+        service.start_store_watcher(interval=args.watch_store)
     host, port = server.server_address
     # Flushed eagerly: with piped stdout the port announcement must be
     # visible before serve_forever blocks (scripts parse it).
@@ -630,7 +668,8 @@ def main(argv=None) -> int:
         return watch(args.path, follow=args.follow, poll=args.poll)
     if args.experiment == "export-embeddings":
         return run_export(
-            args.dataset, args.scale, args.epochs, args.seed, args.out
+            args.dataset, args.scale, args.epochs, args.seed, args.out,
+            versioned=args.versioned,
         )
     if args.experiment == "serve":
         return run_serve(args)

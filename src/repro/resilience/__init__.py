@@ -22,7 +22,7 @@ The trainer integration lives in :meth:`repro.core.RRRETrainer.fit`
 (``python -m repro train --checkpoint-dir … --resume``).
 """
 
-from .chaos import ChaosEngine, FaultRecord, SimulatedCrash
+from .chaos import ChaosEngine, FaultRecord, RetrievalFault, SimulatedCrash
 from .checkpoint import (
     SCHEMA_VERSION,
     CheckpointCorrupt,
@@ -32,6 +32,7 @@ from .checkpoint import (
     capture_rng_states,
     check_config_compatible,
     restore_rng_states,
+    sha256_file,
 )
 from .guard import DivergenceError, DivergenceEvent, DivergenceGuard, DivergencePolicy
 
@@ -45,10 +46,12 @@ __all__ = [
     "DivergenceGuard",
     "DivergencePolicy",
     "FaultRecord",
+    "RetrievalFault",
     "SCHEMA_VERSION",
     "SimulatedCrash",
     "TrainState",
     "capture_rng_states",
     "check_config_compatible",
     "restore_rng_states",
+    "sha256_file",
 ]

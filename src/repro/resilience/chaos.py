@@ -27,12 +27,34 @@ Supported faults:
   NaN (malformed data reaching the loss; guard again);
 * :meth:`ChaosEngine.fail_checkpoint_at` — make the checkpoint write of
   an epoch raise ``OSError`` (training must continue, no partial files).
+
+**Serving faults** (request-scoped, addressed by scoring-call ordinal —
+the micro-batcher scores batches on one worker thread, so the ordinal is
+deterministic for a given request sequence):
+
+* :meth:`ChaosEngine.slow_score_at` — make scoring pass ``n`` sleep
+  (a slow retriever; deadlines and the breaker must absorb it);
+* :meth:`ChaosEngine.fail_score_at` — make scoring pass ``n`` raise
+  :class:`RetrievalFault` (the degradation ladder must catch it);
+* :meth:`ChaosEngine.fail_reload_at` — crash a store export/hot-reload
+  at a named stage (``"arrays"``/``"manifest"``/``"publish"``/``"swap"``
+  — partial versions must never be served);
+* :meth:`ChaosEngine.corrupt_store_table` — flip bytes of one ``.npy``
+  table in an exported store directory (manifest verification must
+  reject it and the service must keep the old store).
+
+The serving integration points are
+:meth:`repro.serve.RecommendationService` (``chaos=`` constructor
+argument) and ``EmbeddingStore.save_versioned(fault_hook=...)``; the
+test suite is ``tests/serve/test_resilience.py``.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 import numpy as np
@@ -40,6 +62,10 @@ import numpy as np
 
 class SimulatedCrash(RuntimeError):
     """A chaos-injected process death; escapes ``fit`` on purpose."""
+
+
+class RetrievalFault(RuntimeError):
+    """A chaos-injected retrieval failure; the serving ladder must absorb it."""
 
 
 @dataclass
@@ -119,6 +145,71 @@ class ChaosEngine:
         self._faults.append(_Fault("checkpoint_fail", epoch, None, times=times))
         return self
 
+    # -- serving faults -------------------------------------------------
+    def slow_score_at(
+        self,
+        call: int,
+        seconds: float = 0.05,
+        times: Optional[int] = 1,
+    ) -> "ChaosEngine":
+        """Make scoring call ``call`` (1-based ordinal) take ``seconds``."""
+        if seconds <= 0:
+            raise ValueError(f"seconds must be positive, got {seconds}")
+        self._faults.append(
+            _Fault("slow_score", call, None, {"seconds": seconds}, times=times)
+        )
+        return self
+
+    def fail_score_at(self, call: int, times: Optional[int] = 1) -> "ChaosEngine":
+        """Make scoring call ``call`` raise :class:`RetrievalFault`."""
+        self._faults.append(_Fault("fail_score", call, None, times=times))
+        return self
+
+    def fail_reload_at(
+        self, stage: str = "publish", times: Optional[int] = 1
+    ) -> "ChaosEngine":
+        """Crash the next store export/reload at ``stage``.
+
+        Stages: ``"arrays"`` / ``"manifest"`` / ``"publish"`` fire inside
+        ``EmbeddingStore.save_versioned`` (mid-export crash — the version
+        must stay unpublished); ``"swap"`` fires inside
+        ``RecommendationService.reload_store`` right before the atomic
+        swap (the old store must keep serving).
+        """
+        self._faults.append(
+            _Fault("reload_crash", 0, None, {"stage": stage}, times=times)
+        )
+        return self
+
+    def corrupt_store_table(
+        self, store_dir, table: str = "item_factors", nbytes: int = 16
+    ) -> "ChaosEngine":
+        """Flip ``nbytes`` bytes of ``<store_dir>/<table>.npy`` in place.
+
+        An immediate, deterministic on-disk corruption (offsets drawn
+        from the engine's own generator): manifest verification must
+        flag the table and hot-reload must roll back to the old store.
+        """
+        path = Path(store_dir) / f"{table}.npy"
+        data = bytearray(path.read_bytes())
+        if not data:
+            raise ValueError(f"{path} is empty; nothing to corrupt")
+        offsets = self._rng.choice(
+            len(data), size=min(nbytes, len(data)), replace=False
+        )
+        for offset in offsets:
+            data[offset] ^= 0xFF
+        path.write_bytes(bytes(data))
+        self.fired.append(
+            FaultRecord(
+                kind="corrupt_store",
+                epoch=0,
+                step=None,
+                detail={"table": table, "bytes": int(len(offsets))},
+            )
+        )
+        return self
+
     # -- internal ------------------------------------------------------
     def _take(self, kind: str, epoch: int, step: Optional[int]) -> Optional[_Fault]:
         for fault in self._faults:
@@ -176,3 +267,35 @@ class ChaosEngine:
         if fault is not None:
             self._record(fault, None)
             raise OSError(f"chaos: checkpoint write failed at epoch {epoch}")
+
+    # -- serving hook points -------------------------------------------
+    def on_score(self, call: int, sleep=time.sleep) -> None:
+        """Called before scoring pass ``call``; may stall or fail it.
+
+        ``sleep`` is injectable so tests can observe the stall without
+        real wall time.
+        """
+        fault = self._take("slow_score", call, None)
+        if fault is not None:
+            seconds = fault.payload["seconds"]
+            self._record(fault, None, seconds=seconds)
+            sleep(seconds)
+        fault = self._take("fail_score", call, None)
+        if fault is not None:
+            self._record(fault, None)
+            raise RetrievalFault(f"chaos: retrieval failed at scoring call {call}")
+
+    def on_reload(self, stage: str) -> None:
+        """Store export/hot-reload fault hook; may crash at ``stage``."""
+        for fault in self._faults:
+            if (
+                fault.kind == "reload_crash"
+                and fault.payload.get("stage") == stage
+                and (fault.times is None or fault.times > 0)
+            ):
+                if fault.times is not None:
+                    fault.times -= 1
+                self._record(fault, None, stage=stage)
+                raise SimulatedCrash(
+                    f"chaos: simulated crash during store reload at {stage!r}"
+                )

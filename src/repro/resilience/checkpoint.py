@@ -189,6 +189,16 @@ def _sha256(path: Path) -> str:
     return digest.hexdigest()
 
 
+def sha256_file(path) -> str:
+    """Streaming SHA-256 of one file — the repo-wide content-hash helper.
+
+    Shared by checkpoint manifests and the serving store's versioned
+    export (``repro.serve.store``), so every integrity check in the
+    system uses the same digest.
+    """
+    return _sha256(Path(path))
+
+
 def _fsync_file(path: Path) -> None:
     with open(path, "rb+") as fh:
         fh.flush()

@@ -6,9 +6,18 @@ sixteen is one matmul — nearly the same wall time.  The
 work items and block on a future; a single worker thread drains the
 queue and flushes a batch to the handler when either
 
-* **size** — ``max_batch_size`` items are waiting, or
+* **size** — ``max_batch_size`` items are waiting,
 * **deadline** — ``max_wait`` seconds passed since the *oldest* queued
-  item arrived (bounds added latency for lone requests).
+  item arrived (bounds added latency for lone requests), or
+* **budget** — a queued item's request :class:`~repro.serve.Deadline`
+  is about to expire (minus ``deadline_headroom`` reserved for the
+  scoring pass itself), so a tight per-request budget forces an early
+  flush instead of waiting out ``max_wait``.
+
+Items whose deadline has already fully expired at flush time are not
+scored at all: their futures fail with
+:class:`~repro.serve.DeadlineExceeded` and the handler only sees the
+live ones — a dead request must not consume scoring capacity.
 
 The handler receives the item list and must return one result per item,
 in order; results (or the handler's exception) are routed back through
@@ -22,7 +31,9 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from .resilience import Deadline, DeadlineExceeded
 
 __all__ = ["MicroBatcher"]
 
@@ -31,7 +42,7 @@ _STOP = object()
 
 
 class MicroBatcher:
-    """Queue + worker thread flushing on batch size or deadline.
+    """Queue + worker thread flushing on batch size, deadline, or budget.
 
     Parameters
     ----------
@@ -44,9 +55,17 @@ class MicroBatcher:
     max_wait:
         Flush at most this many seconds after the first item of a batch
         arrived, even if the batch is smaller.
+    deadline_headroom:
+        Seconds reserved for the scoring pass when flushing on a request
+        budget: a batch flushes once any queued item has less than this
+        much budget left (``reason="budget"``).  Must be positive —
+        with no headroom a budget-triggered flush would arrive exactly
+        at expiry and reject the very item that asked for it.
     on_flush:
         Optional ``on_flush(size, reason)`` observer, ``reason`` in
-        ``{"size", "deadline", "close"}`` — the metrics hook.
+        ``{"size", "deadline", "budget", "close"}`` — the metrics hook.
+        ``size`` counts the items actually handed to the handler
+        (expired ones are failed, not scored).
     """
 
     def __init__(
@@ -54,15 +73,21 @@ class MicroBatcher:
         handler: Callable[[Sequence[Any]], Sequence[Any]],
         max_batch_size: int = 16,
         max_wait: float = 0.005,
+        deadline_headroom: float = 0.005,
         on_flush: Optional[Callable[[int, str], None]] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
         if max_wait < 0:
             raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        if deadline_headroom <= 0:
+            raise ValueError(
+                f"deadline_headroom must be positive, got {deadline_headroom}"
+            )
         self.handler = handler
         self.max_batch_size = max_batch_size
         self.max_wait = max_wait
+        self.deadline_headroom = deadline_headroom
         self.on_flush = on_flush
         self._queue: "queue.Queue" = queue.Queue()
         self._closed = threading.Event()
@@ -72,12 +97,18 @@ class MicroBatcher:
         self._worker.start()
 
     # ------------------------------------------------------------------
-    def submit(self, item: Any) -> "Future":
-        """Enqueue one item; the future resolves to its handler result."""
+    def submit(self, item: Any, deadline: Optional[Deadline] = None) -> "Future":
+        """Enqueue one item; the future resolves to its handler result.
+
+        ``deadline`` (optional) joins the flush calculus: the batch
+        flushes early enough to score this item within its budget, and
+        if the budget is already gone at flush time the future fails
+        with :class:`DeadlineExceeded` instead of being scored.
+        """
         if self._closed.is_set():
             raise RuntimeError("batcher is closed")
         future: "Future" = Future()
-        self._queue.put((item, future))
+        self._queue.put((item, future, deadline))
         return future
 
     def close(self, timeout: float = 5.0) -> None:
@@ -95,22 +126,44 @@ class MicroBatcher:
         self.close()
 
     # ------------------------------------------------------------------
+    def _budget_remaining(self, batch: List[Tuple]) -> Optional[float]:
+        """Tightest per-request budget in the batch, headroom deducted."""
+        tightest: Optional[float] = None
+        for _, _, deadline in batch:
+            if deadline is None:
+                continue
+            left = deadline.remaining() - self.deadline_headroom
+            if tightest is None or left < tightest:
+                tightest = left
+        return tightest
+
     def _run(self) -> None:
         while True:
             first = self._queue.get()
             if first is _STOP:
                 self._flush_remaining()
                 return
-            batch: List[Any] = [first]
-            deadline = time.monotonic() + self.max_wait
+            batch: List[Tuple] = [first]
+            flush_by = time.monotonic() + self.max_wait
             reason = "deadline"
             while len(batch) < self.max_batch_size:
-                remaining = deadline - time.monotonic()
+                remaining = flush_by - time.monotonic()
+                budget = self._budget_remaining(batch)
+                if budget is not None and budget < remaining:
+                    remaining = budget
+                    if remaining <= 0:
+                        reason = "budget"
+                        break
                 if remaining <= 0:
                     break
                 try:
                     entry = self._queue.get(timeout=remaining)
                 except queue.Empty:
+                    budget = self._budget_remaining(batch)
+                    if budget is not None and budget <= 0 and (
+                        flush_by - time.monotonic() > 0
+                    ):
+                        reason = "budget"
                     break
                 if entry is _STOP:
                     self._dispatch(batch, "close")
@@ -123,7 +176,7 @@ class MicroBatcher:
 
     def _flush_remaining(self) -> None:
         """Serve whatever is still queued at close time (reason="close")."""
-        leftovers: List[Any] = []
+        leftovers: List[Tuple] = []
         while True:
             try:
                 entry = self._queue.get_nowait()
@@ -134,12 +187,24 @@ class MicroBatcher:
         if leftovers:
             self._dispatch(leftovers, "close")
 
-    def _dispatch(self, batch: List[Any], reason: str) -> None:
-        items = [item for item, _ in batch]
-        futures = [future for _, future in batch]
+    def _dispatch(self, batch: List[Tuple], reason: str) -> None:
+        live: List[Tuple] = []
+        for item, future, deadline in batch:
+            if deadline is not None and deadline.expired():
+                # Dead on arrival at the flush: fail fast, don't score.
+                if not future.done():
+                    future.set_exception(
+                        DeadlineExceeded("batch flush", deadline.budget)
+                    )
+            else:
+                live.append((item, future))
+        if not live:
+            return
+        items = [item for item, _ in live]
+        futures = [future for _, future in live]
         if self.on_flush is not None:
             try:
-                self.on_flush(len(batch), reason)
+                self.on_flush(len(live), reason)
             except Exception:  # observer must never break serving
                 pass
         try:

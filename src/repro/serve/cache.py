@@ -3,8 +3,15 @@
 A bounded mapping with two eviction triggers: least-recently-used order
 once ``max_size`` entries exist, and a per-entry time-to-live so served
 recommendations never outlive ``ttl`` seconds (the knob that bounds how
-stale a cached top-K can get after a re-export).  Reads refresh recency;
-expired entries count as misses and are dropped on access.
+stale a cached top-K can get after a re-export).  Reads refresh recency.
+
+An expired entry counts as a miss on :meth:`TTLCache.get` but is *not*
+dropped — it is demoted to the cold end of the LRU order (so capacity
+pressure reclaims stale entries first) and stays reachable through
+:meth:`TTLCache.get_stale`, the serve-stale-on-error read the
+degradation ladder uses when the scoring path is down (a stale answer
+was genuinely scored once, so its explanation citations stay honest —
+see ``docs/serving_resilience.md``).
 
 The clock is injectable (monotonic by default) so tests control time
 instead of sleeping.  All operations are O(1) under one lock — the
@@ -25,13 +32,15 @@ __all__ = ["CacheStats", "TTLCache"]
 class CacheStats:
     """Running counters of one cache's traffic (thread-safe snapshots)."""
 
-    __slots__ = ("hits", "misses", "expirations", "evictions")
+    __slots__ = ("hits", "misses", "expirations", "evictions", "stale_hits")
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.expirations = 0
         self.evictions = 0
+        #: Expired entries served anyway via :meth:`TTLCache.get_stale`.
+        self.stale_hits = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -44,6 +53,7 @@ class CacheStats:
             "misses": self.misses,
             "expirations": self.expirations,
             "evictions": self.evictions,
+            "stale_hits": self.stale_hits,
             "hit_ratio": self.hit_ratio,
         }
 
@@ -80,18 +90,25 @@ class TTLCache:
         self.stats = CacheStats()
         self._clock = clock
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[Hashable, Tuple[float, Any]]" = OrderedDict()
+        # key -> [stored_at, value, expiry_counted] — the flag marks an
+        # entry whose TTL expiry has already been observed (counted once
+        # under stats.expirations and demoted in the LRU order).
+        self._entries: "OrderedDict[Hashable, list]" = OrderedDict()
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
+    def _expired(self, entry: list, now: float) -> bool:
+        return self.ttl is not None and now - entry[0] >= self.ttl
+
     def get(self, key: Hashable) -> Tuple[bool, Any]:
         """Look up ``key``; returns ``(hit, value)``.
 
-        A hit refreshes the entry's recency.  An expired entry is
-        removed, counted under ``stats.expirations``, and reported as a
-        miss.
+        A hit refreshes the entry's recency.  An expired entry is a
+        miss: the first such read counts under ``stats.expirations`` and
+        demotes the entry to the cold (evict-first) end of the LRU order
+        — it is kept for :meth:`get_stale` until capacity reclaims it.
         """
         now = self._clock()
         with self._lock:
@@ -99,26 +116,69 @@ class TTLCache:
             if entry is None:
                 self.stats.misses += 1
                 return False, None
-            stored_at, value = entry
-            if self.ttl is not None and now - stored_at >= self.ttl:
-                del self._entries[key]
-                self.stats.expirations += 1
+            if self._expired(entry, now):
+                if not entry[2]:
+                    entry[2] = True
+                    self.stats.expirations += 1
+                    self._entries.move_to_end(key, last=False)
                 self.stats.misses += 1
                 return False, None
             self._entries.move_to_end(key)
             self.stats.hits += 1
-            return True, value
+            return True, entry[1]
+
+    def get_stale(self, key: Hashable) -> Tuple[bool, Any]:
+        """Look up ``key`` *ignoring* TTL; returns ``(found, value)``.
+
+        The serve-stale-on-error read: when the scoring path is down, an
+        expired entry (genuinely scored before it aged out) beats a 503.
+        Counts under ``stats.stale_hits`` when it serves an expired
+        entry; a fresh entry served this way still counts as a hit.
+        Never refreshes recency and never drops anything.
+        """
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False, None
+            if self._expired(entry, now):
+                self.stats.stale_hits += 1
+            else:
+                self.stats.hits += 1
+            return True, entry[1]
 
     def put(self, key: Hashable, value: Any) -> None:
-        """Insert/overwrite ``key``; evicts the LRU entry when full."""
+        """Insert/overwrite ``key``; evicts the coldest entry when full.
+
+        Thanks to :meth:`get`'s demotion, entries already seen expired
+        sit at the cold end, so capacity pressure reclaims stale entries
+        before evicting any fresh one.
+        """
         now = self._clock()
         with self._lock:
             if key in self._entries:
                 del self._entries[key]
             elif len(self._entries) >= self.max_size:
-                self._entries.popitem(last=False)
+                _, evicted = self._entries.popitem(last=False)
+                if not evicted[2] and self._expired(evicted, now):
+                    self.stats.expirations += 1
                 self.stats.evictions += 1
-            self._entries[key] = (now, value)
+            self._entries[key] = [now, value, False]
+
+    def purge_expired(self) -> int:
+        """Drop every expired entry; returns how many were removed."""
+        now = self._clock()
+        with self._lock:
+            doomed = [
+                key
+                for key, entry in self._entries.items()
+                if self._expired(entry, now)
+            ]
+            for key in doomed:
+                entry = self._entries.pop(key)
+                if not entry[2]:
+                    self.stats.expirations += 1
+            return len(doomed)
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; returns whether it existed."""

@@ -4,16 +4,29 @@ A thin JSON API on ``http.server.ThreadingHTTPServer`` — no new
 dependencies, one thread per connection, all real work delegated to the
 shared (thread-safe) :class:`~repro.serve.RecommendationService`:
 
-====================================  =================================
-``GET /recommend?user=U[&k=K]``       top-K with explanation payloads
-``GET /explain?item=I[&k=K]``         explanations for one item
-``GET /healthz``                      liveness + store shape + cache stats
-``GET /metrics``                      Prometheus text exposition
-====================================  =================================
+=============================================  ==========================
+``GET /recommend?user=U[&k=K][&deadline_ms=D]`` top-K with explanations
+``GET /explain?item=I[&k=K]``                   explanations for one item
+``GET /healthz``                                liveness + breaker state
+``GET /metrics``                                Prometheus text exposition
+``POST /reload[?path=P]``                       validate + hot-swap store
+=============================================  ==========================
+
+Every failure maps to a structured JSON body ``{"error": ...}`` — never
+a bare traceback or an empty 500: 400 (bad parameters), 404 (unknown
+path/item), 503 + ``Retry-After`` (shed by admission control, or every
+degradation rung failed), 504 (deadline blown with no rung available),
+500 (anything unexpected; counted under
+``repro_serve_errors_total{kind="internal"}``).
+
+Shutdown is drain-then-close: :meth:`RecommendationServer.close` stops
+the service first — the micro-batcher flushes its queue so in-flight
+futures resolve — and only then closes the listening socket.
 
 Request lifecycle, error mapping, and curl examples live in
-``docs/serving.md``.  Bind port 0 for an ephemeral port (tests, CI
-smoke); ``server.server_address`` reports the bound one.
+``docs/serving.md`` and ``docs/serving_resilience.md``.  Bind port 0 for
+an ephemeral port (tests, CI smoke); ``server.server_address`` reports
+the bound one.
 """
 
 from __future__ import annotations
@@ -23,7 +36,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from .resilience import DeadlineExceeded, ServerOverloaded, ServiceUnavailable
 from .service import RecommendationService, ServeConfig
+from .store import StoreCorrupt
 
 __all__ = ["RecommendationServer", "make_server"]
 
@@ -38,9 +53,9 @@ class RecommendationServer(ThreadingHTTPServer):
         self.service = service
 
     def close(self) -> None:
-        """Shut the listener down and stop the service's batcher."""
-        self.server_close()
+        """Drain the service (batcher flush) first, then close the socket."""
         self.service.close()
+        self.server_close()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -54,12 +69,16 @@ class _Handler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         query = parse_qs(parsed.query)
         service = self.server.service
+        endpoint = parsed.path.lstrip("/") or "root"
         try:
             if parsed.path == "/recommend":
                 user = self._int_param(query, "user", required=True)
                 k = self._int_param(query, "k")
                 explain_k = self._int_param(query, "explain_k")
-                self._send_json(200, service.recommend(user, k, explain_k))
+                deadline_ms = self._float_param(query, "deadline_ms")
+                self._send_json(
+                    200, service.recommend(user, k, explain_k, deadline_ms)
+                )
             elif parsed.path == "/explain":
                 item = self._int_param(query, "item", required=True)
                 k = self._int_param(query, "k")
@@ -75,14 +94,65 @@ class _Handler(BaseHTTPRequestHandler):
                 self.wfile.write(body)
             else:
                 self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
-        except _BadRequest as exc:
-            self._send_json(400, {"error": str(exc)})
-        except IndexError as exc:
-            self._send_json(404, {"error": str(exc)})
-        except Exception as exc:  # pragma: no cover — defensive 500
-            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+        except BaseException as exc:
+            self._send_error(endpoint, exc)
+
+    def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        parsed = urlparse(self.path)
+        query = parse_qs(parsed.query)
+        service = self.server.service
+        try:
+            if parsed.path == "/reload":
+                path = query.get("path", [None])[0]
+                summary = service.reload_store(path)
+                self._send_json(200, summary)
+            else:
+                self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
+        except BaseException as exc:
+            self._send_error("reload", exc)
 
     # ------------------------------------------------------------------
+    def _send_error(self, endpoint: str, exc: BaseException) -> None:
+        """Map one exception to a structured JSON error response.
+
+        Every branch produces ``{"error": ...}`` and counts under
+        ``repro_serve_errors_total{endpoint,kind}`` — no caller ever sees
+        an unhandled 500 or a hung socket.
+        """
+        service = self.server.service
+        if isinstance(exc, _BadRequest) or isinstance(exc, ValueError):
+            service.record_error(endpoint, "bad_request")
+            self._send_json(400, {"error": str(exc)})
+        elif isinstance(exc, IndexError):
+            service.record_error(endpoint, "not_found")
+            self._send_json(404, {"error": str(exc)})
+        elif isinstance(exc, ServerOverloaded):
+            service.record_error(endpoint, "overloaded")
+            self._send_json(
+                503,
+                {"error": str(exc), "reason": exc.reason},
+                headers={"Retry-After": f"{exc.retry_after:.3f}"},
+            )
+        elif isinstance(exc, ServiceUnavailable):
+            service.record_error(endpoint, "unavailable")
+            self._send_json(
+                503,
+                {"error": str(exc), "reason": exc.reason},
+                headers={"Retry-After": f"{exc.retry_after:.3f}"},
+            )
+        elif isinstance(exc, DeadlineExceeded):
+            service.record_error(endpoint, "deadline")
+            self._send_json(
+                504, {"error": str(exc), "stage": exc.stage, "budget": exc.budget}
+            )
+        elif isinstance(exc, StoreCorrupt):
+            # A rejected hot-reload candidate: the old store kept serving.
+            service.record_error(endpoint, "store_corrupt")
+            self._send_json(409, {"error": str(exc), "rolled_back": True})
+        else:
+            service.record_error(endpoint, "internal")
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
     def _int_param(self, query, name: str, required: bool = False) -> Optional[int]:
         values = query.get(name)
         if not values:
@@ -94,11 +164,24 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError:
             raise _BadRequest(f"{name!r} must be an integer, got {values[0]!r}")
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _float_param(self, query, name: str) -> Optional[float]:
+        values = query.get(name)
+        if not values:
+            return None
+        try:
+            return float(values[0])
+        except ValueError:
+            raise _BadRequest(f"{name!r} must be a number, got {values[0]!r}")
+
+    def _send_json(
+        self, status: int, payload: dict, headers: Optional[dict] = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -120,10 +203,11 @@ def make_server(
     """Build a ready-to-run server; returns ``(server, service)``.
 
     ``store`` is an :class:`~repro.serve.EmbeddingStore` or a path to an
-    exported store directory; pass a prepared ``service`` instead to
-    reuse its registry/cache.  ``port=0`` binds an ephemeral port —
-    read the actual one off ``server.server_address``.  Call
-    ``server.serve_forever()`` to block, ``server.close()`` to stop.
+    exported store directory (plain or versioned root); pass a prepared
+    ``service`` instead to reuse its registry/cache/chaos wiring.
+    ``port=0`` binds an ephemeral port — read the actual one off
+    ``server.server_address``.  Call ``server.serve_forever()`` to
+    block, ``server.close()`` to stop (drains the batcher first).
     """
     if service is None:
         service = RecommendationService(store, config=config)

@@ -1,0 +1,329 @@
+"""Serving resilience primitives: deadlines, load shedding, circuit breaking.
+
+The sunny-day serving pipeline (store → cache → batcher → retriever)
+assumes every stage answers promptly and correctly.  This module holds
+the mechanisms that keep ``/recommend`` honest when one doesn't:
+
+* :class:`Deadline` — a per-request time budget created at admission and
+  propagated HTTP → service → micro-batcher, so every stage bounds its
+  own wait by ``remaining()`` instead of a fixed timeout.  A blown
+  budget raises :class:`DeadlineExceeded` (HTTP 504) instead of hanging
+  the socket.
+* :class:`AdmissionController` — bounded in-flight admission.  Requests
+  beyond ``max_inflight``, or whose estimated queue wait already exceeds
+  their deadline, are shed with :class:`ServerOverloaded` (HTTP 503 +
+  ``Retry-After``) before they consume any scoring capacity.
+* :class:`CircuitBreaker` — closed → open → half-open failure isolation
+  for the retrieval path.  Repeated retriever failures/timeouts trip the
+  breaker; while open, requests skip straight to the degradation ladder
+  (stale cache → popularity → 503) instead of queueing behind a sick
+  scorer; after ``reset_after`` seconds one half-open probe decides
+  whether to close again.
+* :class:`ServiceUnavailable` — the ladder's bottom rung: every degraded
+  mode failed too (HTTP 503).
+
+All clocks are injectable so tests step time explicitly; defaults are
+``time.monotonic``.  The ladder itself — which rung serves a degraded
+request, and how responses are labelled — lives in
+:meth:`repro.serve.RecommendationService.recommend`; the protocol
+reference is ``docs/serving_resilience.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "ServerOverloaded",
+    "ServiceUnavailable",
+]
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request outlived its time budget at ``stage``; maps to HTTP 504."""
+
+    def __init__(self, stage: str, budget: float) -> None:
+        super().__init__(
+            f"request deadline of {budget * 1e3:.0f} ms exceeded at {stage!r}"
+        )
+        self.stage = stage
+        self.budget = budget
+
+
+class ServerOverloaded(RuntimeError):
+    """Admission control shed the request; maps to HTTP 503 + Retry-After."""
+
+    def __init__(self, reason: str, retry_after: float) -> None:
+        super().__init__(
+            f"server overloaded ({reason}); retry in {retry_after:.2f}s"
+        )
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class ServiceUnavailable(RuntimeError):
+    """Every rung of the degradation ladder failed; maps to HTTP 503."""
+
+    def __init__(self, reason: str, retry_after: float = 1.0) -> None:
+        super().__init__(f"service unavailable ({reason})")
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class Deadline:
+    """A per-request time budget, handed down through every serving stage.
+
+    Parameters
+    ----------
+    budget:
+        Seconds this request may spend end to end (must be positive).
+    clock:
+        0-arg monotonic-seconds callable; injectable for tests.
+    """
+
+    __slots__ = ("budget", "_expires", "_clock")
+
+    def __init__(
+        self, budget: float, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        if budget <= 0:
+            raise ValueError(f"deadline budget must be positive, got {budget}")
+        self.budget = float(budget)
+        self._clock = clock
+        self._expires = clock() + self.budget
+
+    def remaining(self) -> float:
+        """Seconds left in the budget; never negative."""
+        return max(0.0, self._expires - self._clock())
+
+    def expired(self) -> bool:
+        """Whether the budget is fully spent."""
+        return self._clock() >= self._expires
+
+    def check(self, stage: str) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is gone."""
+        if self.expired():
+            raise DeadlineExceeded(stage, self.budget)
+
+    def __repr__(self) -> str:  # pragma: no cover — debug aid
+        return f"Deadline(budget={self.budget}, remaining={self.remaining():.4f})"
+
+
+class AdmissionController:
+    """Bounded in-flight admission with estimated-wait load shedding.
+
+    Tracks how many requests are currently inside the service and an
+    exponentially weighted moving average of observed service time.  A
+    request is shed — :class:`ServerOverloaded`, *before* it touches the
+    cache or batcher — when either:
+
+    * ``inflight`` already equals ``max_inflight`` (**depth**), or
+    * ``inflight * ewma_service_time`` exceeds the request's remaining
+      deadline budget (**wait**): it would blow its deadline waiting in
+      line anyway, so failing fast frees capacity for requests that can
+      still make it.
+
+    ``retry_after`` on the shed error is the estimated time for the
+    queue to drain to half depth — the hint exported as the HTTP
+    ``Retry-After`` header.
+    """
+
+    #: EWMA smoothing factor for observed service seconds.
+    _ALPHA = 0.2
+
+    def __init__(
+        self,
+        max_inflight: int = 64,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.max_inflight = max_inflight
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._ewma = 0.0
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    @property
+    def ewma_seconds(self) -> float:
+        """Smoothed per-request service time observed so far."""
+        with self._lock:
+            return self._ewma
+
+    def estimated_wait(self) -> float:
+        """Expected extra wait for a newly admitted request (seconds)."""
+        with self._lock:
+            return self._inflight * self._ewma
+
+    def acquire(self, deadline: Optional[Deadline] = None) -> None:
+        """Admit one request or raise :class:`ServerOverloaded`."""
+        with self._lock:
+            retry_after = max(0.05, self._ewma * self._inflight / 2.0)
+            if self._inflight >= self.max_inflight:
+                raise ServerOverloaded("queue depth", retry_after)
+            if (
+                deadline is not None
+                and self._ewma > 0.0
+                and self._inflight * self._ewma > deadline.remaining()
+            ):
+                raise ServerOverloaded("estimated wait exceeds deadline", retry_after)
+            self._inflight += 1
+
+    def release(self, elapsed: float) -> None:
+        """Record one finished request and fold its service time in."""
+        with self._lock:
+            self._inflight = max(0, self._inflight - 1)
+            if elapsed >= 0.0:
+                if self._ewma == 0.0:
+                    self._ewma = float(elapsed)
+                else:
+                    self._ewma += self._ALPHA * (float(elapsed) - self._ewma)
+
+
+class CircuitBreaker:
+    """Closed → open → half-open failure isolation for the scoring path.
+
+    * **closed** — traffic flows; ``failure_threshold`` consecutive
+      failures trip the breaker open (a success resets the count).
+    * **open** — :meth:`allow` answers ``False`` (callers degrade
+      immediately) until ``reset_after`` seconds have passed.
+    * **half-open** — up to ``half_open_probes`` requests are let
+      through as probes; one success closes the breaker, one failure
+      re-opens it and restarts the clock.
+
+    ``on_state_change(old, new)`` fires outside the lock on every
+    transition — the service uses it to export the
+    ``repro_serve_breaker_state`` gauge.  Thread-safe; clock injectable.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    #: Gauge encoding of each state (docs/observability.md#serving).
+    STATE_CODES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_after: float = 5.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        on_state_change: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_after <= 0:
+            raise ValueError(f"reset_after must be positive, got {reset_after}")
+        if half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self.half_open_probes = half_open_probes
+        self.on_state_change = on_state_change
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes_left = 0
+        #: Chronological (old, new) transitions, for tests and health().
+        self.transitions: list = []
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def state_code(self) -> int:
+        return self.STATE_CODES[self.state]
+
+    @property
+    def failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    def allow(self) -> bool:
+        """Whether the next request may take the full scoring path."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.HALF_OPEN and self._probes_left > 0:
+                self._probes_left -= 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A full-path request succeeded; close from half-open."""
+        fire = None
+        with self._lock:
+            self._failures = 0
+            if self._state == self.HALF_OPEN:
+                fire = (self._state, self.CLOSED)
+                self._set_state_locked(self.CLOSED)
+        self._fire(fire)
+
+    def record_failure(self) -> None:
+        """A full-path request failed; trip or re-open the breaker."""
+        fire = None
+        with self._lock:
+            self._failures += 1
+            if self._state == self.HALF_OPEN or (
+                self._state == self.CLOSED
+                and self._failures >= self.failure_threshold
+            ):
+                fire = (self._state, self.OPEN)
+                self._opened_at = self._clock()
+                self._set_state_locked(self.OPEN)
+        self._fire(fire)
+
+    # ------------------------------------------------------------------
+    def _maybe_half_open(self) -> None:
+        """Open → half-open once the reset window has passed (locked)."""
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.reset_after
+        ):
+            self._probes_left = self.half_open_probes
+            old = self._state
+            self._set_state_locked(self.HALF_OPEN)
+            # Fired while holding the lock: the observer contract is a
+            # metric write, which must not call back into the breaker.
+            self.transitions.append((old, self.HALF_OPEN))
+            if self.on_state_change is not None:
+                try:
+                    self.on_state_change(old, self.HALF_OPEN)
+                except Exception:  # observer must never break serving
+                    pass
+
+    def _set_state_locked(self, new: str) -> None:
+        self._state = new
+
+    def _fire(self, fire) -> None:
+        if fire is None:
+            return
+        self.transitions.append(fire)
+        if self.on_state_change is not None:
+            try:
+                self.on_state_change(*fire)
+            except Exception:  # observer must never break serving
+                pass

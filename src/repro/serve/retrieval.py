@@ -181,7 +181,11 @@ class Retriever:
 
         Served with observed mean rating and mean predicted reliability
         instead of personalized scores (there is no user embedding to
-        score with).
+        score with).  Explanations are fail-soft: this path also backs
+        the degradation ladder, and a degraded response must cite only
+        reviews whose predictions were genuinely computed — if the
+        explanation lookup itself fails, the item is served with an
+        empty citation list rather than a fabricated one.
         """
         recs = []
         for item in self._popular[:k]:
@@ -196,6 +200,9 @@ class Retriever:
                 "review_count": int(self.store.item_popularity[item]),
             }
             if explain_k > 0:
-                rec["explanations"] = self.explain(item, explain_k)
+                try:
+                    rec["explanations"] = self.explain(item, explain_k)
+                except Exception:
+                    rec["explanations"] = []
             recs.append(rec)
         return recs

@@ -34,16 +34,32 @@ before writing anything.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
 from repro import __version__
+from repro.resilience.checkpoint import sha256_file
 
 #: Store layout version; bump on any array/meta schema change.
 STORE_VERSION = 1
+
+#: Integrity manifest filename inside a store directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Pointer file naming the live version inside a versioned store root.
+CURRENT_POINTER = "CURRENT"
+
+#: (user, item) pairs recorded in the manifest's factorization
+#: parity sample (recomputed and compared on every validated load).
+SCORE_SAMPLE_PAIRS = 32
+
+
+class StoreCorrupt(RuntimeError):
+    """A store directory failed integrity or parity validation."""
 
 #: Array files the store writes and expects (name -> required).
 _ARRAYS = (
@@ -187,13 +203,66 @@ class EmbeddingStore:
         self.path = out
         return out
 
+    def save_versioned(
+        self,
+        root,
+        fault_hook: Optional[Callable[[str], None]] = None,
+    ) -> Path:
+        """Publish this store as the next version under ``root``.
+
+        Layout: ``root/v0001/``, ``root/v0002/``, … each a complete
+        store directory with a SHA-256 :data:`MANIFEST_NAME`, plus a
+        :data:`CURRENT_POINTER` file naming the live one.  The write is
+        atomic end to end — arrays land in a dot-prefixed temporary
+        directory, the manifest (hashes + a factorization parity sample)
+        is written last inside it, the directory is renamed into place,
+        and only then is ``CURRENT`` swapped (tmp + rename + dir fsync).
+        A crash at any stage leaves ``CURRENT`` pointing at the previous
+        intact version; readers never observe a partial store.
+
+        ``fault_hook(stage)`` fires at ``"arrays"`` / ``"manifest"`` /
+        ``"publish"`` — the chaos harness's mid-export crash points
+        (``ChaosEngine.on_reload``).  Returns the published version dir.
+        """
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        version = next_version_name(root)
+        tmp = root / f".{version}.tmp"
+        self.save(tmp)
+        self.path = None  # tmp is about to be renamed; forget it
+        if fault_hook is not None:
+            fault_hook("arrays")
+        write_store_manifest(tmp, version=version, score_sample=_score_sample(self))
+        if fault_hook is not None:
+            fault_hook("manifest")
+        final = root / version
+        os.replace(tmp, final)
+        _fsync_dir(root)
+        if fault_hook is not None:
+            fault_hook("publish")
+        set_current_version(root, version)
+        self.path = final
+        return final
+
     @classmethod
-    def load(cls, path, mmap: bool = True) -> "EmbeddingStore":
-        """Load a store directory; ``mmap=True`` memory-maps every array."""
-        root = Path(path)
+    def load(
+        cls, path, mmap: bool = True, verify: bool = False
+    ) -> "EmbeddingStore":
+        """Load a store directory; ``mmap=True`` memory-maps every array.
+
+        ``path`` may be a plain store directory or a versioned root (one
+        holding a :data:`CURRENT_POINTER`) — the live version is resolved
+        automatically.  ``verify=True`` additionally checks the SHA-256
+        manifest and the factorization parity sample before returning
+        (raising :class:`StoreCorrupt` on any mismatch) — the hot-reload
+        path always loads with ``verify=True``.
+        """
+        root = resolve_store_path(path)
         meta_path = root / "meta.json"
         if not meta_path.exists():
             raise FileNotFoundError(f"{root} is not an embedding store (no meta.json)")
+        if verify:
+            verify_store_manifest(root)
         meta = json.loads(meta_path.read_text(encoding="utf-8"))
         if meta.get("store_version") != STORE_VERSION:
             raise ValueError(
@@ -204,7 +273,10 @@ class EmbeddingStore:
         arrays = {
             name: np.load(root / f"{name}.npy", mmap_mode=mode) for name in _ARRAYS
         }
-        return cls(arrays=arrays, meta=meta, path=root)
+        store = cls(arrays=arrays, meta=meta, path=root)
+        if verify:
+            validate_store(store)
+        return store
 
 
 def _entity_profiles(trainer, side: str, batch_size: int) -> np.ndarray:
@@ -235,11 +307,222 @@ def _entity_profiles(trainer, side: str, batch_size: int) -> np.ndarray:
     return profiles
 
 
+# ----------------------------------------------------------------------
+# Versioned store directories: manifest, pointer, validation
+# ----------------------------------------------------------------------
+def _fsync_dir(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def next_version_name(root: Path) -> str:
+    """The next ``v%04d`` directory name under a versioned root."""
+    highest = 0
+    for entry in Path(root).glob("v[0-9]*"):
+        try:
+            highest = max(highest, int(entry.name[1:]))
+        except ValueError:
+            continue
+    return f"v{highest + 1:04d}"
+
+
+def current_version(root) -> Optional[str]:
+    """The version named by ``root/CURRENT``, or ``None`` when absent."""
+    pointer = Path(root) / CURRENT_POINTER
+    if not pointer.exists():
+        return None
+    return pointer.read_text(encoding="utf-8").strip() or None
+
+
+def set_current_version(root, version: str) -> None:
+    """Atomically point ``root/CURRENT`` at ``version`` (tmp + rename)."""
+    root = Path(root)
+    if not (root / version).is_dir():
+        raise FileNotFoundError(f"cannot publish {version!r}: {root / version} missing")
+    tmp = root / f".{CURRENT_POINTER}.tmp"
+    tmp.write_text(version + "\n", encoding="utf-8")
+    os.replace(tmp, root / CURRENT_POINTER)
+    _fsync_dir(root)
+
+
+def resolve_store_path(path) -> Path:
+    """Resolve ``path`` to a concrete store directory.
+
+    A plain store directory (has ``meta.json``) resolves to itself; a
+    versioned root (has :data:`CURRENT_POINTER`) resolves to its live
+    version.  Anything else is returned as-is and will fail the caller's
+    ``meta.json`` check with a pointed error.
+    """
+    root = Path(path)
+    if (root / "meta.json").exists():
+        return root
+    version = current_version(root)
+    if version is not None:
+        return root / version
+    return root
+
+
+def _score_sample(store: EmbeddingStore, pairs: int = SCORE_SAMPLE_PAIRS) -> Dict:
+    """A seeded (u, i) score sample for factorization parity checks."""
+    rng = np.random.default_rng(0)
+    users = rng.integers(0, store.num_users, size=pairs)
+    items = rng.integers(0, store.num_items, size=pairs)
+    ratings, reliabilities = store.score_pairs(users, items)
+    return {
+        "seed": 0,
+        "users": users.tolist(),
+        "items": items.tolist(),
+        "ratings": ratings.tolist(),
+        "reliabilities": reliabilities.tolist(),
+    }
+
+
+def write_store_manifest(
+    store_dir, version: Optional[str] = None, score_sample: Optional[Dict] = None
+) -> Path:
+    """Write ``manifest.json`` for a store directory.
+
+    Records the SHA-256 of every payload file (the same
+    :func:`repro.resilience.sha256_file` digest checkpoints use) plus an
+    optional factorization parity sample; :func:`verify_store_manifest`
+    and :func:`validate_store` check both on reload.
+    """
+    store_dir = Path(store_dir)
+    files = {}
+    for entry in sorted(store_dir.iterdir()):
+        if entry.name == MANIFEST_NAME or entry.name.startswith("."):
+            continue
+        files[entry.name] = sha256_file(entry)
+    manifest = {
+        "manifest_version": 1,
+        "store_version": STORE_VERSION,
+        "version": version,
+        "files": files,
+        "score_sample": score_sample,
+    }
+    tmp = store_dir / f".{MANIFEST_NAME}.tmp"
+    tmp.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    os.replace(tmp, store_dir / MANIFEST_NAME)
+    return store_dir / MANIFEST_NAME
+
+
+def read_store_manifest(store_dir) -> Dict:
+    """Parse a store directory's manifest; :class:`StoreCorrupt` if absent."""
+    path = Path(store_dir) / MANIFEST_NAME
+    if not path.exists():
+        raise StoreCorrupt(f"{store_dir} has no {MANIFEST_NAME}")
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise StoreCorrupt(f"{path} is not valid JSON: {exc}") from exc
+
+
+def verify_store_manifest(store_dir) -> Dict:
+    """Hash-check every manifest-listed file; returns the manifest.
+
+    Raises :class:`StoreCorrupt` on a missing file, a digest mismatch,
+    or an expected array absent from the manifest — the bit-rot /
+    truncation / tamper gate of the hot-reload path.
+    """
+    store_dir = Path(store_dir)
+    manifest = read_store_manifest(store_dir)
+    files = manifest.get("files") or {}
+    expected = {f"{name}.npy" for name in _ARRAYS} | {"meta.json"}
+    missing = sorted(expected - set(files))
+    if missing:
+        raise StoreCorrupt(f"{store_dir}: manifest does not cover {missing}")
+    for name, digest in sorted(files.items()):
+        path = store_dir / name
+        if not path.exists():
+            raise StoreCorrupt(f"{store_dir}: manifest lists missing file {name!r}")
+        actual = sha256_file(path)
+        if actual != digest:
+            raise StoreCorrupt(
+                f"{store_dir}: {name!r} content hash mismatch "
+                f"(manifest {digest[:12]}…, actual {actual[:12]}…)"
+            )
+    return manifest
+
+
+def validate_store(store: EmbeddingStore, manifest: Optional[Dict] = None) -> None:
+    """Shape + factorization parity validation of a loaded store.
+
+    Checks that the table shapes are mutually consistent (factor dims
+    align, CSR index bounds hold, counts match ``meta.json``) and — when
+    a manifest with a score sample is available — that recomputed pair
+    scores match the ones recorded at export time bit-for-bit tolerance
+    1e-9.  Raises :class:`StoreCorrupt` on any violation; the hot-reload
+    path calls this before swapping a new version in.
+    """
+    arrays, meta = store.arrays, store.meta
+    users, items, reviews = store.num_users, store.num_items, store.num_reviews
+    checks = [
+        (meta.get("num_users") == users, "meta num_users != user table rows"),
+        (meta.get("num_items") == items, "meta num_items != item table rows"),
+        (meta.get("num_reviews") == reviews, "meta num_reviews != review table rows"),
+        (
+            arrays["user_factors"].shape == (users, int(meta.get("factor_dim", -1))),
+            "user_factors shape disagrees with meta factor_dim",
+        ),
+        (
+            arrays["user_factors"].shape[1] == arrays["item_factors"].shape[1],
+            "user/item factor dims disagree",
+        ),
+        (
+            arrays["item_review_indptr"].shape == (items + 1,),
+            "item_review_indptr length != num_items + 1",
+        ),
+        (
+            int(arrays["item_review_indptr"][-1]) == reviews,
+            "item_review_indptr does not span the review table",
+        ),
+        (
+            arrays["user_seen_indptr"].shape == (users + 1,),
+            "user_seen_indptr length != num_users + 1",
+        ),
+        (
+            reviews == 0
+            or int(np.max(arrays["item_review_indices"])) < reviews,
+            "item_review_indices out of range",
+        ),
+    ]
+    for ok, why in checks:
+        if not ok:
+            raise StoreCorrupt(f"store failed shape validation: {why}")
+
+    if manifest is None and store.path is not None:
+        path = Path(store.path) / MANIFEST_NAME
+        if path.exists():
+            manifest = read_store_manifest(store.path)
+    sample = (manifest or {}).get("score_sample")
+    if sample:
+        got_r, got_l = store.score_pairs(
+            np.asarray(sample["users"], dtype=np.int64),
+            np.asarray(sample["items"], dtype=np.int64),
+        )
+        want_r = np.asarray(sample["ratings"], dtype=np.float64)
+        want_l = np.asarray(sample["reliabilities"], dtype=np.float64)
+        if not (
+            np.allclose(got_r, want_r, rtol=1e-9, atol=1e-9)
+            and np.allclose(got_l, want_l, rtol=1e-9, atol=1e-9)
+        ):
+            raise StoreCorrupt(
+                "store failed factorization parity: recomputed sample scores "
+                "diverge from the manifest's export-time values"
+            )
+
+
 def export_store(
     trainer,
     out_dir=None,
     batch_size: int = 256,
     verify_pairs: int = 64,
+    versioned: bool = False,
 ) -> EmbeddingStore:
     """Factor a fitted trainer into an :class:`EmbeddingStore`.
 
@@ -252,7 +535,10 @@ def export_store(
     ``verify_pairs`` (> 0) asserts store scores match
     ``trainer.predict_pairs`` on that many deterministic (u, i) pairs
     before anything is written.  ``out_dir=None`` returns the in-memory
-    store without persisting.
+    store without persisting.  ``versioned=True`` publishes into
+    ``out_dir`` as a versioned root (``v0001/`` + manifest + ``CURRENT``
+    pointer, see :meth:`EmbeddingStore.save_versioned`) instead of a
+    flat directory — the layout the hot-reload path consumes.
     """
     trainer._require_fitted()
     model, dataset = trainer.model, trainer.dataset
@@ -396,5 +682,8 @@ def export_store(
         )
 
     if out_dir is not None:
-        store.save(out_dir)
+        if versioned:
+            store.save_versioned(out_dir)
+        else:
+            store.save(out_dir)
     return store

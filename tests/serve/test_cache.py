@@ -58,7 +58,95 @@ class TestTTLCache:
         hit, value = cache.get("a")
         assert not hit and value is None
         assert cache.stats.expirations == 1
-        assert len(cache) == 0  # the expired entry was removed
+        # The expired entry is retained (demoted) for get_stale, but a
+        # repeated read counts expiration only once.
+        assert len(cache) == 1
+        assert cache.get("a") == (False, None)
+        assert cache.stats.expirations == 1
+
+    def test_get_stale_serves_expired_entries(self):
+        clock = FakeClock()
+        cache = TTLCache(max_size=4, ttl=5.0, clock=clock)
+        cache.put("a", 1)
+        assert cache.get_stale("a") == (True, 1)  # fresh → a plain hit
+        assert cache.stats.hits == 1
+        clock.advance(6.0)
+        assert cache.get("a") == (False, None)  # expired for normal reads
+        assert cache.get_stale("a") == (True, 1)  # still servable stale
+        assert cache.stats.stale_hits == 1
+        assert cache.get_stale("missing") == (False, None)
+
+    def test_expired_entries_are_evicted_first(self):
+        # The LRU-accounting fix: an observed-expired entry is demoted to
+        # the evict-first end, so capacity pressure reclaims it before
+        # any fresh entry — even one that is older in insertion order.
+        clock = FakeClock()
+        cache = TTLCache(max_size=2, ttl=5.0, clock=clock)
+        cache.put("old", 1)
+        clock.advance(3.0)
+        cache.put("young", 2)
+        clock.advance(3.0)  # "old" is now expired, "young" is not
+        assert cache.get("old") == (False, None)  # observe expiry → demote
+        assert cache.get("young") == (True, 2)
+        cache.put("new", 3)  # evicts demoted "old", not recently-used "young"
+        assert cache.get_stale("old") == (False, None)
+        assert cache.get("young") == (True, 2)
+        assert cache.get("new") == (True, 3)
+        assert cache.stats.evictions == 1
+
+    def test_eviction_of_unobserved_expired_entry_counts_expiration(self):
+        clock = FakeClock()
+        cache = TTLCache(max_size=1, ttl=5.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(6.0)  # "a" expires without ever being read
+        cache.put("b", 2)  # capacity evicts "a"
+        assert cache.stats.evictions == 1
+        assert cache.stats.expirations == 1
+
+    def test_purge_expired(self):
+        clock = FakeClock()
+        cache = TTLCache(max_size=8, ttl=5.0, clock=clock)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        clock.advance(6.0)
+        cache.put("c", 3)
+        assert cache.purge_expired() == 2
+        assert len(cache) == 1
+        assert cache.get("c") == (True, 3)
+        assert cache.stats.expirations == 2
+
+    def test_random_ops_invariants(self):
+        # Seeded property test: after any interleaving of put / get /
+        # get_stale / purge under a stepping clock, the cache never holds
+        # more than max_size entries, get() never serves an entry older
+        # than the TTL, and get_stale() serves exactly the stored value.
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        clock = FakeClock()
+        cache = TTLCache(max_size=8, ttl=5.0, clock=clock)
+        shadow = {}  # key -> (stored_at, value), mirror of every put
+        for step in range(500):
+            op = rng.integers(0, 4)
+            key = int(rng.integers(0, 16))
+            if op == 0:
+                value = (key, step)
+                cache.put(key, value)
+                shadow[key] = (clock.now, value)
+            elif op == 1:
+                hit, value = cache.get(key)
+                if hit:
+                    stored_at, stored_value = shadow[key]
+                    assert value == stored_value
+                    assert clock.now - stored_at < 5.0
+            elif op == 2:
+                found, value = cache.get_stale(key)
+                if found:
+                    assert value == shadow[key][1]
+            else:
+                cache.purge_expired()
+            assert len(cache) <= 8
+            clock.advance(float(rng.random()))
 
     def test_no_ttl_never_expires(self):
         clock = FakeClock()
