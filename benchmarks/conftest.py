@@ -65,7 +65,7 @@ def bench_params():
     }
 
 
-def run_once(benchmark, fn, *args, **kwargs):
+def run_once(benchmark, fn, *args, artifact_name=None, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark timing.
 
     If the result looks like an :class:`repro.eval.ExperimentReport`
@@ -73,6 +73,8 @@ def run_once(benchmark, fn, *args, **kwargs):
     ``benchmarks/out/BENCH_<test>.json`` as a trajectory point, along
     with a snapshot of the metrics registry active during the run
     (batch/example counters etc. from the instrumented pipeline).
+    ``artifact_name`` overrides the test-derived artifact name (the
+    perf gate keys baselines by filename, so the name is a contract).
     """
     registry = MetricsRegistry()
     start = time.perf_counter()
@@ -82,7 +84,11 @@ def run_once(benchmark, fn, *args, **kwargs):
 
     out_dir = bench_out_dir()
     if out_dir is not None:
-        name = getattr(benchmark, "name", None) or getattr(fn, "__name__", "bench")
+        name = (
+            artifact_name
+            or getattr(benchmark, "name", None)
+            or getattr(fn, "__name__", "bench")
+        )
         data = getattr(result, "data", None)
         rendered = getattr(result, "rendered", "")
         write_bench_artifact(

@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: fresh bench artifacts vs the committed trajectory.
+
+Usage::
+
+    python scripts/check_bench.py [--out benchmarks/out] [--rev HEAD]
+
+Every benchmark run rewrites ``benchmarks/out/BENCH_<name>.json`` (see
+``benchmarks/conftest.py``); the committed copies form the repo's
+performance trajectory.  This script diffs the fresh working-tree
+artifacts against the copies committed at ``--rev`` and fails the build
+when a comparable series regressed:
+
+* **latency** series (``timing.seconds`` and any ``*_ms`` /
+  ``*seconds`` metric): fresh more than ``1.5x`` the baseline fails;
+* **throughput** series (``qps`` and any ``*_per_sec`` metric): fresh
+  below ``0.67x`` the baseline fails.
+
+Comparisons are skipped when they cannot mean anything:
+
+* the artifact has no committed baseline yet (first landing);
+* ``params`` changed (a different scale/seeds/epochs is a different
+  workload, not a regression);
+* a latency baseline sits under the noise floor (50 ms) — timer jitter
+  at that magnitude swamps any real signal, so the fresh value is
+  compared against the floor instead of the baseline.
+
+An intentional slowdown (e.g. trading speed for accuracy) is waived by
+exporting ``REPRO_BENCH_WAIVER`` with a non-empty justification::
+
+    REPRO_BENCH_WAIVER="accepting 2x table3 cost for calibrated heads" \
+        python scripts/check_bench.py
+
+The waiver text is printed into the CI log so the trade-off is on the
+record; the next commit's artifacts become the new baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: Fresh latency above this multiple of the baseline is a regression.
+LATENCY_RATIO_MAX = 1.5
+#: Fresh throughput below this fraction of the baseline is a regression.
+THROUGHPUT_RATIO_MIN = 0.67
+#: Latency baselines under the floor are timer noise; the fresh value is
+#: judged against the floor itself (in the series' own unit).
+LATENCY_FLOOR_SECONDS = 0.05
+#: Env var carrying a justification that downgrades failures to warnings.
+WAIVER_ENV = "REPRO_BENCH_WAIVER"
+
+
+def classify(path: str) -> Optional[str]:
+    """Map a dotted series path to ``"latency"`` / ``"throughput"`` / None."""
+    leaf = path.split(".")[-1]
+    leaf = leaf.split("[", 1)[0] if "[" in leaf else leaf
+    if leaf == "qps" or leaf.endswith("_per_sec") or leaf.endswith("_per_s"):
+        return "throughput"
+    if leaf.endswith("_ms") or leaf == "seconds" or leaf.endswith("_seconds"):
+        return "latency"
+    return None
+
+
+def latency_floor(path: str) -> float:
+    """The noise floor in the unit the series is recorded in."""
+    if path.split(".")[-1].endswith("_ms"):
+        return LATENCY_FLOOR_SECONDS * 1000.0
+    return LATENCY_FLOOR_SECONDS
+
+
+def extract_series(payload: dict) -> Dict[str, Tuple[str, float]]:
+    """All comparable numeric series in an artifact: path -> (kind, value)."""
+    series: Dict[str, Tuple[str, float]] = {}
+    timing = payload.get("timing") or {}
+    if isinstance(timing.get("seconds"), (int, float)):
+        series["timing.seconds"] = ("latency", float(timing["seconds"]))
+
+    def walk(node, path: str) -> None:
+        if isinstance(node, dict):
+            for key, value in node.items():
+                walk(value, f"{path}.{key}")
+        elif isinstance(node, list):
+            for index, value in enumerate(node):
+                walk(value, f"{path}[{index}]")
+        elif isinstance(node, (int, float)) and not isinstance(node, bool):
+            kind = classify(path)
+            if kind is not None:
+                series[path] = (kind, float(node))
+
+    walk(payload.get("data") or {}, "data")
+    return series
+
+
+@dataclass
+class Finding:
+    """One compared series: the ratio and whether it passes the gate."""
+
+    artifact: str
+    series: str
+    kind: str
+    baseline: float
+    fresh: float
+    ratio: float
+    ok: bool
+
+    def __str__(self) -> str:
+        verdict = "ok" if self.ok else "REGRESSION"
+        return (
+            f"{self.artifact}: {self.series} [{self.kind}] "
+            f"{self.baseline:.6g} -> {self.fresh:.6g} "
+            f"({self.ratio:.2f}x) {verdict}"
+        )
+
+
+def compare_artifact(
+    name: str, baseline: dict, fresh: dict
+) -> Tuple[List[Finding], Optional[str]]:
+    """Compare one artifact pair; returns (findings, skip_reason)."""
+    if baseline.get("params") != fresh.get("params"):
+        return [], (
+            f"params changed ({baseline.get('params')} -> "
+            f"{fresh.get('params')}): different workload, not comparable"
+        )
+    base_series = extract_series(baseline)
+    fresh_series = extract_series(fresh)
+    findings: List[Finding] = []
+    for path, (kind, base_value) in sorted(base_series.items()):
+        if path not in fresh_series:
+            continue  # series dropped/renamed: the docs gate owns schema drift
+        fresh_value = fresh_series[path][1]
+        if kind == "latency":
+            # Judge against max(baseline, floor): sub-floor baselines are
+            # jitter, but a fresh value far above the floor still fails.
+            anchor = max(base_value, latency_floor(path))
+            ratio = fresh_value / anchor
+            ok = ratio <= LATENCY_RATIO_MAX
+        else:
+            if base_value <= 0:
+                continue
+            ratio = fresh_value / base_value
+            ok = ratio >= THROUGHPUT_RATIO_MIN
+        findings.append(Finding(name, path, kind, base_value, fresh_value, ratio, ok))
+    return findings, None
+
+
+def load_committed(repo_root: Path, relpath: str, rev: str) -> Optional[dict]:
+    """The artifact as committed at ``rev``, or None when absent there."""
+    result = subprocess.run(
+        ["git", "show", f"{rev}:{relpath}"],
+        capture_output=True,
+        cwd=repo_root,
+    )
+    if result.returncode != 0:
+        return None
+    return json.loads(result.stdout)
+
+
+def check(out_dir: Path, rev: str = "HEAD") -> Tuple[List[Finding], List[str]]:
+    """Gate every fresh artifact under ``out_dir``; returns (findings, notes)."""
+    repo_root = out_dir.resolve().parents[1]
+    findings: List[Finding] = []
+    notes: List[str] = []
+    artifacts = sorted(out_dir.glob("BENCH_*.json"))
+    if not artifacts:
+        notes.append(f"no BENCH_*.json artifacts under {out_dir}")
+        return findings, notes
+    for path in artifacts:
+        relpath = path.resolve().relative_to(repo_root).as_posix()
+        fresh = json.loads(path.read_text())
+        baseline = load_committed(repo_root, relpath, rev)
+        if baseline is None:
+            notes.append(f"{path.name}: no baseline at {rev} (new artifact), skipped")
+            continue
+        compared, skip = compare_artifact(path.name, baseline, fresh)
+        if skip is not None:
+            notes.append(f"{path.name}: skipped — {skip}")
+            continue
+        findings.extend(compared)
+    return findings, notes
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=Path(__file__).resolve().parents[1] / "benchmarks" / "out",
+        type=Path,
+        help="artifact directory (default: benchmarks/out)",
+    )
+    parser.add_argument(
+        "--rev", default="HEAD", help="git revision holding the baseline trajectory"
+    )
+    args = parser.parse_args(argv)
+
+    findings, notes = check(args.out, args.rev)
+    for note in notes:
+        print(f"note: {note}")
+    regressions = [f for f in findings if not f.ok]
+    for finding in findings:
+        if not finding.ok or os.environ.get("REPRO_BENCH_VERBOSE"):
+            print(finding)
+    compared = len(findings)
+    print(
+        f"check_bench: {compared} series compared against {args.rev}, "
+        f"{len(regressions)} regression(s)"
+    )
+    if not regressions:
+        return 0
+    waiver = os.environ.get(WAIVER_ENV, "").strip()
+    if waiver:
+        print(f"WAIVED via {WAIVER_ENV}: {waiver}")
+        return 0
+    print(
+        f"perf regression gate failed; if intentional, re-run with "
+        f'{WAIVER_ENV}="<justification>" and land fresh artifacts as the '
+        f"new baseline"
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,7 @@ REQUIRED_DOCS = (
     "docs/analysis.md",
     "docs/serving.md",
     "docs/serving_resilience.md",
+    "docs/execution_plan.md",
 )
 
 #: A dotted name rooted at the package, e.g. ``repro.nn.functional.relu``.

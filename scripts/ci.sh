@@ -25,6 +25,12 @@
 #      keeps answering with labelled degraded payloads, then recover;
 #      a corrupt store version offered to hot-reload must be rejected
 #      with the old store still serving (see docs/serving_resilience.md).
+#   8. perf-regression gate — scripts/check_bench.py diffs the fresh
+#      benchmarks/out/BENCH_*.json against the copies committed at HEAD
+#      and fails on >1.5x latency / <0.67x throughput; artifacts the
+#      bench steps have not refreshed compare equal and pass through.
+#      Intentional slowdowns are waived via REPRO_BENCH_WAIVER (see the
+#      script docstring and docs/execution_plan.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -256,5 +262,8 @@ assert not thread.is_alive(), "server thread failed to stop"
 print(f"serve-chaos smoke OK: degraded->recovered, corrupt reload rejected "
       f"and rolled back on port {port}")
 PY
+
+echo "== perf-regression gate =="
+python scripts/check_bench.py
 
 echo "== CI green =="

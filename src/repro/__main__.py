@@ -18,6 +18,9 @@ Usage::
     python -m repro analyze                # all four static-analysis passes
     python -m repro analyze --lint src/repro  # repo discipline linter only
     python -m repro analyze --shapes --graph  # config + autograd validation
+    python -m repro plan                   # compile the execution plan, print it
+    python -m repro plan --explain         # + inferred shapes and buffer schedule
+    python -m repro train --plan           # fit on the compiled hot path
     python -m repro export-embeddings --out store/  # train + export serving store
     python -m repro serve --store store/ --port 8080  # online top-K HTTP API
 
@@ -30,6 +33,13 @@ the metrics registry in Prometheus text format next to it.  ``watch``
 renders such an event file as a live status board.  For table/figure
 experiments ``--report-json`` dumps the regenerated artifact's raw
 numbers instead.
+
+``plan`` compiles the plan-then-execute hot path for the default model
+(see ``docs/execution_plan.md``) and prints what got planned — the
+fused recurrent executors, the attention softmax fusion, and with
+``--explain`` the inferred symbolic shapes plus each executor's pooled
+buffer schedule.  ``train --plan`` runs the actual fit on that compiled
+hot path (planned and interpreted mode agree to ≤1e-9).
 
 ``analyze`` runs the static-analysis suite (see ``docs/analysis.md``):
 symbolic shape validation of the default config, autograd-graph
@@ -108,6 +118,7 @@ SUBCOMMANDS: Dict[str, str] = {
     "train": "one telemetry-enabled RRRE fit (profiling, events, checkpoints)",
     "watch": "render a trace event file as a live status board",
     "analyze": "static-analysis suite: shapes, graph, gradcheck, lint",
+    "plan": "compile the plan-then-execute hot path and print it",
     "export-embeddings": "fit RRRE and export the serving embedding store",
     "serve": "HTTP recommendation API over an exported store",
 }
@@ -215,7 +226,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--lint",
         action="store_true",
         help="for 'analyze': run the repo discipline linter (rules: "
-        "RNG001/RNG002/TIME001/DTYPE001/MUT001)",
+        "RNG001/RNG002/TIME001/DTYPE001/MUT001/MUT002)",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="for 'plan': also print inferred shapes and the pooled "
+        "buffer schedule of every planned module",
+    )
+    parser.add_argument(
+        "--plan",
+        action="store_true",
+        help="for 'train': fit on the compiled plan-then-execute hot path "
+        "(see docs/execution_plan.md; results match interpreted to 1e-9)",
     )
     parser.add_argument(
         "--follow",
@@ -369,6 +392,7 @@ def run_train(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     checkpoint_every: int = 1,
+    plan: bool = False,
 ) -> None:
     """One telemetry-enabled RRRE fit; prints (and optionally writes) the report.
 
@@ -405,7 +429,11 @@ def run_train(
                 resume=resume,
                 checkpoint_every=checkpoint_every,
                 guard=bool(checkpoint_dir),
+                plan=plan,
             )
+            if plan and trainer.plan is not None:
+                print(trainer.plan.describe())
+                print()
             # Exercise the re-ranking path so the trace carries rank spans.
             recommend_items(trainer, user_id=0, top_k=5)
     finally:
@@ -423,6 +451,68 @@ def run_train(
     if report_json:
         path = report.save(report_json)
         print(f"\nwrote {path}")
+
+
+def run_plan(
+    dataset_name: str,
+    scale: float,
+    explain: bool = False,
+    report_json: Optional[str] = None,
+) -> int:
+    """Compile the execution plan for the default model and print it.
+
+    Builds the same model ``train`` would fit (vocabulary and entity
+    counts come from the dataset preset), compiles its plan, and prints
+    :meth:`repro.plan.ExecutionPlan.describe`.  ``explain`` adds the
+    inferred symbolic output shapes and the pooled buffer schedule per
+    planned module — the reference for reading ``docs/execution_plan.md``
+    against a live model.
+    """
+    from .core import RRRETrainer, fast_config
+    from .core.model import RRRE
+    from .data import InputSlots, ReviewTextTable, load_dataset, train_test_split
+    from .plan import compile_plan
+
+    cfg = fast_config()
+    dataset = load_dataset(dataset_name, seed=0, scale=scale)
+    train, _ = train_test_split(dataset, seed=0)
+    table = ReviewTextTable.build(
+        dataset,
+        max_len=cfg.max_len,
+        min_count=cfg.min_word_count,
+        max_vocab=cfg.max_vocab,
+    )
+    model = RRRE(
+        cfg,
+        num_users=dataset.num_users,
+        num_items=dataset.num_items,
+        vocab_size=len(table.vocab),
+    )
+    plan = compile_plan(model, batch_size=cfg.batch_size, seq_len=cfg.max_len)
+    print(plan.describe(explain=explain))
+    if report_json:
+        from .obs.report import SCHEMA_VERSION, _jsonable
+
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "dataset": dataset_name,
+            "stats": _jsonable(plan.stats()),
+            "entries": [
+                {
+                    "path": e.path,
+                    "kind": e.kind,
+                    "summary": e.summary,
+                    "shapes": list(e.shapes),
+                    "buffers": list(e.buffers),
+                }
+                for e in plan.entries
+            ],
+        }
+        with open(report_json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {report_json}")
+    return 0
 
 
 def run_analyze(
@@ -648,8 +738,16 @@ def main(argv=None) -> int:
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
             checkpoint_every=args.checkpoint_every,
+            plan=args.plan,
         )
         return 0
+    if args.experiment == "plan":
+        return run_plan(
+            args.dataset,
+            args.scale,
+            explain=args.explain,
+            report_json=args.report_json,
+        )
     if args.experiment == "analyze":
         return run_analyze(
             args.shapes,

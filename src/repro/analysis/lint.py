@@ -21,6 +21,16 @@ MUT001    Assignment to a ``.data`` attribute (``t.data = …``,
           ``t.data += …``, ``t.data[i] = …``).  Rebinding tape-recorded
           arrays invalidates recorded gradients; only optimizers may do
           it, at sites annotated with a justification.
+MUT002    Call-based in-place write to a ``.data`` array: an ``out=``
+          argument targeting ``.data`` (``np.subtract(…, out=p.data)``),
+          ``np.copyto(p.data, …)``, a ufunc ``.at`` on ``.data``, or a
+          mutating ndarray method (``p.data.fill(…)``, ``.sort()``, …).
+          These bypass the version-counter bump the assignment setter
+          performs, so the graph validator and the planned executors
+          cannot see the mutation.  Only the two optimizer update sites
+          (which call ``bump_version()`` themselves) are whitelisted;
+          :mod:`repro.plan` is exempt — the plan executor is the
+          sanctioned engine for such writes and proves them safe.
 ========  ==============================================================
 
 A violation is suppressed by appending ``# lint: allow[RULE001]`` (one
@@ -45,6 +55,20 @@ RULES: Dict[str, str] = {
     "TIME001": "wall-clock read (time.time/datetime.now); confine timestamps to repro.obs",
     "DTYPE001": "dtype-less np.array/np.asarray in repro.nn; the substrate is float64-only",
     "MUT001": "assignment to a Tensor .data attribute outside a whitelisted optimizer site",
+    "MUT002": "call-based in-place write to a .data array outside the plan executor",
+}
+
+#: ndarray methods that mutate in place — targets for MUT002 when
+#: invoked directly on a ``.data`` attribute.
+_MUTATING_ARRAY_METHODS = {
+    "fill",
+    "sort",
+    "partition",
+    "put",
+    "itemset",
+    "setfield",
+    "resize",
+    "byteswap",
 }
 
 #: np.random attributes that construct the *new-style* API and are fine.
@@ -118,9 +142,10 @@ def _attribute_chain(node: ast.AST) -> List[str]:
 
 
 class _Visitor(ast.NodeVisitor):
-    def __init__(self, path: str, in_nn: bool) -> None:
+    def __init__(self, path: str, in_nn: bool, in_plan: bool = False) -> None:
         self.path = path
         self.in_nn = in_nn
+        self.in_plan = in_plan
         self.violations: List[LintViolation] = []
         self.numpy_aliases: Set[str] = {"np", "numpy"}
         self.imports_stdlib_random = False
@@ -178,7 +203,50 @@ class _Visitor(ast.NodeVisitor):
                 node,
                 f"{'.'.join(chain)} without an explicit dtype in repro.nn",
             )
+        if not self.in_plan:
+            self._check_call_mutation(node, chain)
         self.generic_visit(node)
+
+    def _check_call_mutation(self, node: ast.Call, chain: List[str]) -> None:
+        """MUT002: call-based in-place writes to ``.data`` arrays."""
+        for kw in node.keywords:
+            if kw.arg == "out" and self._out_hits_data(kw.value):
+                self._flag(
+                    "MUT002",
+                    node,
+                    "out= argument writes into a .data array in place",
+                )
+                return
+        func = node.func
+        if (
+            len(chain) == 2
+            and chain[0] in self.numpy_aliases
+            and chain[1] in ("copyto", "place", "putmask", "put")
+            and node.args
+            and self._is_data_target(node.args[0])
+        ):
+            self._flag("MUT002", node, f"np.{chain[1]} writes into a .data array")
+            return
+        if isinstance(func, ast.Attribute):
+            if (
+                func.attr == "at"
+                and node.args
+                and self._is_data_target(node.args[0])
+            ):
+                self._flag("MUT002", node, "ufunc .at scatters into a .data array")
+            elif func.attr in _MUTATING_ARRAY_METHODS and self._is_data_target(
+                func.value
+            ):
+                self._flag(
+                    "MUT002",
+                    node,
+                    f".data.{func.attr}() mutates a tape-recorded array",
+                )
+
+    def _out_hits_data(self, value: ast.AST) -> bool:
+        if isinstance(value, ast.Tuple):
+            return any(self._is_data_target(elt) for elt in value.elts)
+        return self._is_data_target(value)
 
     # -- .data mutation ------------------------------------------------
     def _is_data_target(self, target: ast.AST) -> bool:
@@ -208,7 +276,9 @@ def _allowed_rules(line: str) -> Set[str]:
 
 def lint_source(source: str, path: str = "<string>") -> List[LintViolation]:
     """Lint one module's source text; returns pragma-filtered violations."""
-    in_nn = "nn" in Path(path).parts
+    parts = Path(path).parts
+    in_nn = "nn" in parts
+    in_plan = "plan" in parts
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -217,7 +287,7 @@ def lint_source(source: str, path: str = "<string>") -> List[LintViolation]:
                 "SYNTAX", path, exc.lineno or 0, exc.offset or 0, f"unparsable: {exc.msg}"
             )
         ]
-    visitor = _Visitor(path, in_nn)
+    visitor = _Visitor(path, in_nn, in_plan)
     visitor.visit(tree)
     lines = source.splitlines()
     kept = []

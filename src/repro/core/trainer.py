@@ -124,6 +124,9 @@ class RRRETrainer:
         self.metrics_registry: Optional[MetricsRegistry] = None
         #: Health monitors of the last telemetry-enabled :meth:`fit`.
         self.health: Optional[HealthSuite] = None
+        #: The compiled :class:`repro.plan.ExecutionPlan` of the last
+        #: ``fit(..., plan=True)`` call (None in interpreted mode).
+        self.plan = None
 
     # ------------------------------------------------------------------
     def fit(
@@ -140,6 +143,7 @@ class RRRETrainer:
         guard: Union[None, bool, DivergencePolicy, DivergenceGuard] = None,
         chaos: Optional[ChaosEngine] = None,
         validate: Optional[str] = None,
+        plan: bool = False,
     ) -> "RRRETrainer":
         """Train on ``train``; optionally evaluate on ``test`` per epoch.
 
@@ -179,6 +183,15 @@ class RRRETrainer:
         compute is spent; the eval-mode probe leaves the training RNG
         streams untouched, so results are bitwise-identical with the
         hook on or off.
+
+        ``plan=True`` compiles the model's hot path before the first
+        epoch (see ``docs/execution_plan.md``): recurrent layers run as
+        single-tape-node executors with batched GEMMs and fused in-place
+        kernels over pooled buffers, and attention softmax+mask fuse
+        into one node.  Plan compilation is a behavioral swap only —
+        parameters, checkpoints, and resume semantics are unchanged, and
+        planned results match interpreted ones to ≤1e-9 (``tests/plan/``).
+        The compiled plan is kept on :attr:`plan` for inspection.
         """
         cfg = self.config
         if telemetry is True:
@@ -243,6 +256,14 @@ class RRRETrainer:
             num_items=dataset.num_items,
             vocab_size=len(self.table.vocab),
         )
+        self.plan = None
+        if plan:
+            from repro.plan import compile_plan
+
+            with _maybe_timer(registry, "fit.plan_compile"):
+                self.plan = compile_plan(
+                    self.model, batch_size=cfg.batch_size, seq_len=cfg.max_len
+                ).install()
         if validate:
             from repro.analysis import preflight
 

@@ -56,6 +56,10 @@ class ReviewAttention(Module):
     ) -> None:
         super().__init__()
         self.include_own = include_own
+        #: Set by ``repro.plan.ExecutionPlan.install`` — fuses the
+        #: masked_fill + softmax pair into one tape node (bitwise-equal
+        #: forward, merged backward). False = interpreted mode.
+        self._fused_softmax = False
         self.w_review = Parameter(init.xavier_uniform((review_dim, attention_dim), rng), "W_rev")
         if include_own:
             self.w_own = Parameter(
@@ -107,8 +111,15 @@ class ReviewAttention(Module):
             mask = np.asarray(mask, dtype=bool)
             if not mask.any(axis=1).all():
                 raise ValueError("every row needs at least one unmasked review")
-            scores = F.masked_fill(scores, ~mask, -1e9)
-        weights = F.softmax(scores, axis=-1)  # (B, m)
+            if self._fused_softmax:
+                from repro.plan.fused import masked_softmax
+
+                weights = masked_softmax(scores, ~mask)  # (B, m)
+            else:
+                scores = F.masked_fill(scores, ~mask, -1e9)
+                weights = F.softmax(scores, axis=-1)  # (B, m)
+        else:
+            weights = F.softmax(scores, axis=-1)  # (B, m)
         pooled = F.squeeze(F.matmul(F.expand_dims(weights, 1), reviews), axis=1)
         return pooled, weights
 

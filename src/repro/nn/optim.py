@@ -16,6 +16,22 @@ import numpy as np
 from .module import Parameter
 
 
+def _descend(param: Parameter, update: np.ndarray) -> None:
+    """Apply ``param.data -= update`` in place — the sanctioned descent write.
+
+    Every non-momentum optimizer funnels its parameter update through
+    this one site, so the repo has exactly two whitelisted in-place
+    writes to tape-recorded arrays (this and SGD's momentum add).  The
+    write is an out=-style ufunc call — bitwise-identical to the old
+    ``param.data -= update`` rebind — followed by
+    :meth:`repro.nn.Tensor.bump_version`, which keeps the version
+    counters honest for the graph validator and the planned executors'
+    backward-time safety checks.
+    """
+    np.subtract(param.data, update, out=param.data)  # lint: allow[MUT002] — optimizer update site: post-backward, before the next tape
+    param.bump_version()
+
+
 def clip_grad_norm(
     parameters: Iterable[Parameter],
     max_norm: float,
@@ -197,9 +213,10 @@ class SGD(Optimizer):
                 v = self._velocity[id(p)]
                 v *= self.momentum
                 v -= self.lr * grad
-                p.data += v  # lint: allow[MUT001] — optimizer update site: post-backward, before the next tape
+                np.add(p.data, v, out=p.data)  # lint: allow[MUT002] — optimizer update site: post-backward, before the next tape
+                p.bump_version()
             else:
-                p.data -= self.lr * grad  # lint: allow[MUT001] — optimizer update site: post-backward, before the next tape
+                _descend(p, self.lr * grad)
 
 
 class Adam(Optimizer):
@@ -254,7 +271,7 @@ class Adam(Optimizer):
             v += (1.0 - self.beta2) * grad**2
             m_hat = m / correction1
             v_hat = v / correction2
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)  # lint: allow[MUT001] — optimizer update site: post-backward, before the next tape
+            _descend(p, self.lr * m_hat / (np.sqrt(v_hat) + self.eps))
 
 
 class RMSprop(Optimizer):
@@ -292,4 +309,4 @@ class RMSprop(Optimizer):
             sq = self._sq[id(p)]
             sq *= self.alpha
             sq += (1.0 - self.alpha) * grad**2
-            p.data -= self.lr * grad / (np.sqrt(sq) + self.eps)  # lint: allow[MUT001] — optimizer update site: post-backward, before the next tape
+            _descend(p, self.lr * grad / (np.sqrt(sq) + self.eps))

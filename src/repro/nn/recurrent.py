@@ -84,10 +84,16 @@ class LSTM(Module):
         self.cell = LSTMCell(input_size, hidden_size, rng)
         self.hidden_size = hidden_size
         self.reverse = reverse
+        #: Planned executor slot (:class:`repro.plan.PlannedLSTM`); set by
+        #: ``ExecutionPlan.install`` to replace the per-step interpreted
+        #: loop with one compiled tape node. ``None`` = interpreted mode.
+        self._planned = None
 
     def forward(
         self, x: Tensor, mask: Optional[np.ndarray] = None
     ) -> Tuple[Tensor, Tensor]:
+        if self._planned is not None:
+            return self._planned(x, mask)
         batch, length, _ = x.shape
         if mask is None:
             mask = np.ones((batch, length), dtype=bool)
@@ -140,11 +146,17 @@ class BiLSTM(Module):
         self.forward_lstm = LSTM(input_size, hidden_size, rng, reverse=False)
         self.backward_lstm = LSTM(input_size, hidden_size, rng, reverse=True)
         self.output_size = 2 * hidden_size
+        #: Planned executor slot (:class:`repro.plan.PlannedBiLSTM`);
+        #: when set, both directions run through one fused step loop
+        #: and the child LSTMs are bypassed entirely.
+        self._planned = None
 
     def forward(
         self, x: Tensor, mask: Optional[np.ndarray] = None
     ) -> Tuple[Tensor, Tensor]:
         """Return ``(per_step (B,L,2H), summary (B,2H))``."""
+        if self._planned is not None:
+            return self._planned(x, mask)
         fwd_steps, fwd_last = self.forward_lstm(x, mask)
         bwd_steps, bwd_last = self.backward_lstm(x, mask)
         steps = F.concat([fwd_steps, bwd_steps], axis=-1)
@@ -205,10 +217,14 @@ class GRU(Module):
         super().__init__()
         self.cell = GRUCell(input_size, hidden_size, rng)
         self.hidden_size = hidden_size
+        #: Planned executor slot (:class:`repro.plan.PlannedGRU`); see LSTM.
+        self._planned = None
 
     def forward(
         self, x: Tensor, mask: Optional[np.ndarray] = None
     ) -> Tuple[Tensor, Tensor]:
+        if self._planned is not None:
+            return self._planned(x, mask)
         batch, length, _ = x.shape
         if mask is None:
             mask = np.ones((batch, length), dtype=bool)

@@ -167,6 +167,20 @@ class Tensor:
         """Bumped on every rebind of :attr:`data` (in-place ``+=`` included)."""
         return self._version
 
+    def bump_version(self) -> None:
+        """Record a sanctioned in-place write to :attr:`data`.
+
+        Writers that mutate the underlying array through ``out=``-style
+        kernels (the optimizer update sites, the plan executor's pooled
+        buffers) bypass the ``data`` setter; calling this afterwards keeps
+        the version counter — and therefore the graph validator's
+        mutation detection — truthful about the write.
+        """
+        self._version += 1
+        if _track_mutation_sites:
+            frame = sys._getframe(1)
+            self._mutation_site = f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
     @property
     def mutation_site(self) -> Optional[str]:
         """``file:line`` of the last :attr:`data` rebind, when site tracking

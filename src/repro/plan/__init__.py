@@ -1,0 +1,42 @@
+"""Plan-then-execute compiled mode for the training/inference hot path.
+
+The autograd tape in :mod:`repro.nn` interprets one numpy op at a time;
+for the recurrent review encoders that means thousands of closures per
+forward pass.  This package compiles the hot path instead:
+
+* :func:`compile_plan` walks a model and builds an
+  :class:`ExecutionPlan` covering its LSTM/GRU layers (replaced by
+  single-tape-node executors with batched GEMMs and fused in-place
+  kernels over pooled buffers) and its attention modules (mask + softmax
+  fused into one node).
+* :class:`~repro.plan.buffers.BufferPool` preallocates and reuses
+  scratch storage; arrays that escape into the tape are always fresh.
+* :class:`~repro.plan.safety.PlanSafetyError` is raised when an
+  in-place kernel's forward-time state goes stale before backward — the
+  version-counter discipline from :mod:`repro.analysis.graph` is what
+  proves each in-place write safe.
+
+Surfaces: ``RRRETrainer.fit(plan=True)`` and ``python -m repro plan
+--explain``.  Planned and interpreted mode agree to ≤1e-9 on every
+layer and on the full RRRE model (``tests/plan/``); the measured
+speedup is recorded in ``benchmarks/out/BENCH_table3_rating.json``.
+See ``docs/execution_plan.md``.
+"""
+
+from .buffers import BufferPool
+from .compile import ExecutionPlan, PlanEntry, compile_plan
+from .fused import masked_softmax
+from .recurrent import PlannedBiLSTM, PlannedGRU, PlannedLSTM
+from .safety import PlanSafetyError
+
+__all__ = [
+    "BufferPool",
+    "ExecutionPlan",
+    "PlanEntry",
+    "PlanSafetyError",
+    "PlannedBiLSTM",
+    "PlannedGRU",
+    "PlannedLSTM",
+    "compile_plan",
+    "masked_softmax",
+]

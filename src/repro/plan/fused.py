@@ -1,0 +1,87 @@
+"""Fused elementwise kernels with bitwise parity to the interpreted ops.
+
+Two kinds of fusion live here:
+
+* **In-place ufunc chains** (:func:`sigmoid_`, :func:`tanh_`,
+  :func:`select_`) used inside the planned recurrent executors.  Each
+  performs exactly the operations of its :mod:`repro.nn.functional`
+  counterpart, in an order that differs only across bitwise-safe
+  boundaries (commuted IEEE-754 additions/multiplications), writing into
+  caller-provided pooled storage instead of allocating.
+
+* **Fused tape ops** (:func:`masked_softmax`) that collapse a chain of
+  interpreted ops into a single autograd node with an analytically
+  merged backward.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["sigmoid_", "tanh_", "select_", "masked_softmax"]
+
+
+def sigmoid_(x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """In-place logistic sigmoid, bitwise-equal to ``F.sigmoid``.
+
+    ``F.sigmoid`` computes ``0.5 * (1.0 + np.tanh(0.5 * x))``; the chain
+    below runs the same four scalar operations per element (halve, tanh,
+    add one, halve) with no temporaries.  ``x`` and ``out`` may be the
+    same array.
+    """
+    np.multiply(x, 0.5, out=out)
+    np.tanh(out, out=out)
+    out += 1.0
+    out *= 0.5
+    return out
+
+
+def tanh_(x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """In-place hyperbolic tangent (``F.tanh`` writes a fresh array)."""
+    return np.tanh(x, out=out)
+
+
+def select_(
+    mask: np.ndarray, new: np.ndarray, old: np.ndarray, out: np.ndarray
+) -> np.ndarray:
+    """Masked carry-forward into ``out``, bitwise-equal to ``F.where``.
+
+    ``out[i] = new[i] where mask else old[i]`` — selection copies values
+    exactly, so two copytos reproduce ``np.where(mask, new, old)`` bit
+    for bit.  ``mask`` broadcasts against ``out`` (the recurrent step
+    masks are ``(B, 1)`` against ``(B, H)`` states).
+    """
+    np.copyto(out, new)
+    np.copyto(out, old, where=~mask)
+    return out
+
+
+def masked_softmax(scores: Tensor, invalid: np.ndarray) -> Tensor:
+    """Fused ``masked_fill(scores, invalid, -1e9)`` → ``softmax(axis=-1)``.
+
+    One tape node replacing the attention module's two interpreted ops.
+    The forward runs the identical expressions in the identical order
+    (fill with the same constant, shift by the row max, exponentiate,
+    normalize), so values are bitwise-equal; the backward composes the
+    softmax VJP with the fill op's gradient gate (``* ~invalid``) in the
+    same order the two-node tape would.
+    """
+    invalid = np.asarray(invalid, dtype=bool)
+    filled = np.where(invalid, -1e9, scores.data)
+    shifted = filled - filled.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    value = e / e.sum(axis=-1, keepdims=True)
+    keep = ~invalid
+
+    def planned_masked_softmax(g: np.ndarray):
+        dot = (g * value).sum(axis=-1, keepdims=True)
+        return ((value * (g - dot)) * keep,)
+
+    return Tensor(
+        value,
+        requires_grad=scores.requires_grad,
+        parents=(scores,),
+        backward_fn=planned_masked_softmax,
+    )

@@ -1,0 +1,28 @@
+"""Safety contract of the plan executor.
+
+Planned kernels reuse pooled scratch arrays and read parameter arrays
+directly, so they are only sound when nothing mutates between a forward
+pass and its backward pass.  Every planned forward captures the version
+counters (:attr:`repro.nn.Tensor.version`) of the arrays it closed over
+plus a per-executor generation number; the backward closure re-checks
+them and raises :class:`PlanSafetyError` instead of silently producing
+gradients computed from overwritten state.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PlanSafetyError"]
+
+
+class PlanSafetyError(RuntimeError):
+    """An in-place planned kernel detected a version-counter conflict.
+
+    Raised by a planned backward pass when the state recorded at forward
+    time is no longer trustworthy — either a parameter/input tensor was
+    rebound in between (its ``version`` counter moved, e.g. an optimizer
+    step ran before ``backward()``), or the executor ran another forward
+    pass first and its pooled scratch buffers no longer hold this tape's
+    activations.  The interpreted path would silently return gradients
+    computed from the wrong arrays in the same situations; the planned
+    path makes the conflict loud.
+    """

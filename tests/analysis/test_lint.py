@@ -93,6 +93,42 @@ class TestMUT001:
         assert lint_source("x = t.data.copy()\n", "mod.py") == []
 
 
+class TestMUT002:
+    def test_out_kwarg_flagged(self):
+        src = "import numpy as np\nnp.subtract(p.data, g, out=p.data)\n"
+        assert rules_of(lint_source(src, "mod.py")) == ["MUT002"]
+
+    def test_out_tuple_flagged(self):
+        src = "import numpy as np\nnp.divmod(x, y, out=(q, p.data))\n"
+        assert rules_of(lint_source(src, "mod.py")) == ["MUT002"]
+
+    def test_copyto_flagged(self):
+        src = "import numpy as np\nnp.copyto(p.data, x)\n"
+        assert rules_of(lint_source(src, "mod.py")) == ["MUT002"]
+
+    def test_ufunc_at_flagged(self):
+        src = "import numpy as np\nnp.add.at(p.data, idx, g)\n"
+        assert rules_of(lint_source(src, "mod.py")) == ["MUT002"]
+
+    def test_mutating_method_flagged(self):
+        src = "p.data.fill(0.0)\n"
+        assert rules_of(lint_source(src, "mod.py")) == ["MUT002"]
+
+    def test_out_to_scratch_allowed(self):
+        # out= into a plain scratch array is the whole point of pooling.
+        src = "import numpy as np\nnp.subtract(a, b, out=scratch)\n"
+        assert lint_source(src, "mod.py") == []
+
+    def test_plan_package_exempt(self):
+        # The plan executor is the sanctioned engine for in-place writes.
+        src = "import numpy as np\nnp.copyto(p.data, x)\n"
+        assert lint_source(src, "src/repro/plan/recurrent.py") == []
+
+    def test_reading_method_allowed(self):
+        src = "x = p.data.sum()\n"
+        assert lint_source(src, "mod.py") == []
+
+
 class TestPragma:
     def test_allow_pragma_suppresses(self):
         src = "p.data -= g  # lint: allow[MUT001] — optimizer update\n"
@@ -135,5 +171,12 @@ class TestLintPaths:
         assert rules_of(report.violations) == ["SYNTAX"]
 
     def test_every_rule_has_a_description(self):
-        assert set(RULES) == {"RNG001", "RNG002", "TIME001", "DTYPE001", "MUT001"}
+        assert set(RULES) == {
+            "RNG001",
+            "RNG002",
+            "TIME001",
+            "DTYPE001",
+            "MUT001",
+            "MUT002",
+        }
         assert all(RULES.values())

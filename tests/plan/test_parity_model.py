@@ -1,0 +1,70 @@
+"""Full-config parity: ``fit(plan=True)`` matches interpreted training.
+
+The per-layer suite pins each kernel; this one pins the composition —
+the complete RRRE model (embeddings, BiLSTM review encoders, fraud
+attention, FM rating head) trained end to end on a real synthetic
+dataset must produce the same losses, parameters, and evaluation
+metrics to 1e-9 whether the hot path is interpreted or planned.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RRRETrainer, fast_config
+from repro.data import load_dataset, train_test_split
+
+TOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def parity_pair():
+    dataset = load_dataset("yelpchi", seed=5, scale=0.2)
+    train, test = train_test_split(dataset, seed=5)
+
+    def run(plan):
+        trainer = RRRETrainer(fast_config(epochs=3, seed=5))
+        trainer.fit(dataset, train, plan=plan)
+        metrics = trainer.evaluate(test)
+        return trainer, metrics
+
+    interp, interp_metrics = run(plan=False)
+    planned, planned_metrics = run(plan=True)
+    return interp, interp_metrics, planned, planned_metrics
+
+
+class TestFullModelParity:
+    def test_plan_installed_and_covers_the_encoders(self, parity_pair):
+        _, _, planned, _ = parity_pair
+        assert planned.plan is not None and planned.plan.installed
+        stats = planned.plan.stats()
+        assert "bilstm" in stats["kinds"]
+        assert "attention" in stats["kinds"]
+        assert stats["pool"]["buffers"] > 0  # the pool actually served
+
+    def test_epoch_losses_match(self, parity_pair):
+        interp, _, planned, _ = parity_pair
+        assert len(interp.history) == len(planned.history) == 3
+        for a, b in zip(interp.history, planned.history):
+            assert abs(a.train_loss - b.train_loss) <= TOL
+            assert abs(a.reliability_loss - b.reliability_loss) <= TOL
+            assert abs(a.rating_loss - b.rating_loss) <= TOL
+            assert abs(a.grad_norm - b.grad_norm) <= TOL
+
+    def test_final_parameters_match(self, parity_pair):
+        interp, _, planned, _ = parity_pair
+        a = dict(interp.model.named_parameters())
+        b = dict(planned.model.named_parameters())
+        assert set(a) == set(b)
+        for name in a:
+            diff = float(np.max(np.abs(a[name].data - b[name].data)))
+            assert diff <= TOL, f"{name}: {diff}"
+
+    def test_eval_metrics_match(self, parity_pair):
+        _, interp_metrics, _, planned_metrics = parity_pair
+        assert set(interp_metrics) == set(planned_metrics)
+        for key in interp_metrics:
+            assert abs(interp_metrics[key] - planned_metrics[key]) <= TOL, key
+
+    def test_interpreted_trainer_has_no_plan(self, parity_pair):
+        interp, _, _, _ = parity_pair
+        assert interp.plan is None

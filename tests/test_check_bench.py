@@ -1,0 +1,181 @@
+"""Perf-regression gate: the CI check in ``scripts/check_bench.py``.
+
+Covers the pure comparison logic (series extraction, thresholds, the
+noise floor, params-mismatch skips) and — in a throwaway git repo — the
+end-to-end behaviour the acceptance criterion demands: a seeded
+regression artifact substituted into ``benchmarks/out/`` fails the
+gate, and the documented waiver env var downgrades it.
+"""
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load_check_bench():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench", REPO_ROOT / "scripts" / "check_bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    # dataclasses resolves cls.__module__ through sys.modules at class
+    # creation time, so the module must be registered before exec.
+    sys.modules["check_bench"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+check_bench = _load_check_bench()
+
+
+def _artifact(seconds=10.0, qps=100.0, p95_ms=200.0, scale=0.3):
+    return {
+        "schema_version": 2,
+        "benchmark": "demo",
+        "params": {"scale": scale, "seeds": [0, 1]},
+        "timing": {"seconds": seconds},
+        "data": {
+            "levels": [{"qps": qps, "p95_ms": p95_ms}],
+            "throughput": {"reviews_per_sec": qps * 7},
+            "counts": {"reviews": 338},  # not a perf series: ignored
+        },
+    }
+
+
+class TestSeriesExtraction:
+    def test_classifies_latency_and_throughput(self):
+        series = check_bench.extract_series(_artifact())
+        assert series["timing.seconds"] == ("latency", 10.0)
+        assert series["data.levels[0].qps"] == ("throughput", 100.0)
+        assert series["data.levels[0].p95_ms"] == ("latency", 200.0)
+        assert series["data.throughput.reviews_per_sec"] == ("throughput", 700.0)
+        assert "data.counts.reviews" not in series
+
+    def test_ms_floor_is_in_ms(self):
+        assert check_bench.latency_floor("data.p95_ms") == pytest.approx(
+            check_bench.LATENCY_FLOOR_SECONDS * 1000.0
+        )
+        assert check_bench.latency_floor("timing.seconds") == pytest.approx(
+            check_bench.LATENCY_FLOOR_SECONDS
+        )
+
+
+class TestCompare:
+    def test_identical_artifacts_pass(self):
+        findings, skip = check_bench.compare_artifact("a", _artifact(), _artifact())
+        assert skip is None
+        assert findings and all(f.ok for f in findings)
+
+    def test_latency_regression_fails(self):
+        findings, _ = check_bench.compare_artifact(
+            "a", _artifact(seconds=10.0), _artifact(seconds=16.0)
+        )
+        bad = [f for f in findings if not f.ok]
+        assert [f.series for f in bad] == ["timing.seconds"]
+        assert bad[0].ratio == pytest.approx(1.6)
+
+    def test_throughput_regression_fails(self):
+        findings, _ = check_bench.compare_artifact(
+            "a", _artifact(qps=100.0), _artifact(qps=60.0)
+        )
+        assert {f.series for f in findings if not f.ok} == {
+            "data.levels[0].qps",
+            "data.throughput.reviews_per_sec",
+        }
+
+    def test_within_threshold_passes(self):
+        findings, _ = check_bench.compare_artifact(
+            "a",
+            _artifact(seconds=10.0, qps=100.0),
+            _artifact(seconds=14.0, qps=70.0),  # 1.4x and 0.7x: inside
+        )
+        assert all(f.ok for f in findings)
+
+    def test_params_mismatch_skips(self):
+        findings, skip = check_bench.compare_artifact(
+            "a", _artifact(scale=0.3), _artifact(scale=0.5)
+        )
+        assert findings == [] and "not comparable" in skip
+
+    def test_noise_floor_absorbs_tiny_latencies(self):
+        # 3 ms -> 9 ms is 3x but far under the 50 ms floor: jitter.
+        findings, _ = check_bench.compare_artifact(
+            "a", _artifact(seconds=0.003), _artifact(seconds=0.009)
+        )
+        by_series = {f.series: f for f in findings}
+        assert by_series["timing.seconds"].ok
+
+    def test_noise_floor_still_catches_real_blowups(self):
+        # 3 ms -> 3 s clears the floor by 60x: a real regression.
+        findings, _ = check_bench.compare_artifact(
+            "a", _artifact(seconds=0.003), _artifact(seconds=3.0)
+        )
+        by_series = {f.series: f for f in findings}
+        assert not by_series["timing.seconds"].ok
+
+
+@pytest.fixture
+def bench_repo(tmp_path):
+    """A throwaway git repo with one committed BENCH artifact."""
+    out = tmp_path / "benchmarks" / "out"
+    out.mkdir(parents=True)
+    path = out / "BENCH_demo.json"
+    path.write_text(json.dumps(_artifact()))
+
+    def git(*args):
+        subprocess.run(
+            ["git", "-c", "user.email=ci@test", "-c", "user.name=ci", *args],
+            cwd=tmp_path,
+            check=True,
+            capture_output=True,
+        )
+
+    git("init", "-q")
+    git("add", "-A")
+    git("commit", "-q", "-m", "baseline trajectory")
+    return tmp_path, path
+
+
+class TestGateEndToEnd:
+    def test_clean_tree_passes(self, bench_repo):
+        tmp_path, _ = bench_repo
+        findings, _ = check_bench.check(tmp_path / "benchmarks" / "out")
+        assert findings and all(f.ok for f in findings)
+
+    def test_seeded_regression_fails_the_build(self, bench_repo, monkeypatch):
+        tmp_path, path = bench_repo
+        path.write_text(json.dumps(_artifact(seconds=25.0, qps=40.0)))
+        monkeypatch.delenv(check_bench.WAIVER_ENV, raising=False)
+        exit_code = check_bench.main(
+            ["--out", str(tmp_path / "benchmarks" / "out")]
+        )
+        assert exit_code == 1
+
+    def test_waiver_env_var_downgrades(self, bench_repo, monkeypatch):
+        tmp_path, path = bench_repo
+        path.write_text(json.dumps(_artifact(seconds=25.0)))
+        monkeypatch.setenv(check_bench.WAIVER_ENV, "intentional: new workload")
+        exit_code = check_bench.main(
+            ["--out", str(tmp_path / "benchmarks" / "out")]
+        )
+        assert exit_code == 0
+
+    def test_new_artifact_without_baseline_skips(self, bench_repo):
+        tmp_path, _ = bench_repo
+        out = tmp_path / "benchmarks" / "out"
+        (out / "BENCH_fresh.json").write_text(json.dumps(_artifact(seconds=999.0)))
+        findings, notes = check_bench.check(out)
+        assert all(f.ok for f in findings)
+        assert any("no baseline" in note for note in notes)
+
+    def test_real_repo_artifacts_extract_series(self):
+        # The committed trajectory must stay parseable by the gate.
+        for path in sorted((REPO_ROOT / "benchmarks" / "out").glob("BENCH_*.json")):
+            payload = json.loads(path.read_text())
+            series = check_bench.extract_series(payload)
+            assert "timing.seconds" in series, path.name

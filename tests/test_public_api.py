@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.metrics",
     "repro.eval",
     "repro.analysis",
+    "repro.plan",
     "repro.serve",
 ]
 
