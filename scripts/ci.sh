@@ -15,7 +15,12 @@
 #      model is bitwise identical to an uninterrupted reference run.
 #   5. static analysis — repo discipline lint over src/repro plus a
 #      symbolic shape check of the default training config; any
-#      violation fails the build (see docs/analysis.md).
+#      violation fails the build (see docs/analysis.md).  The
+#      concurrency pass then lints lock discipline (LOCK001-LOCK004)
+#      and must report zero violations; a race-checked run of the
+#      serve resilience tests (REPRO_RACE_CHECK=1) proves the
+#      threaded serving layer clean under the Eraser lockset
+#      detector.
 #   6. serve smoke — train + export an embedding store through the CLI,
 #      boot the HTTP API on an ephemeral port, issue real requests, and
 #      assert 200s with well-formed JSON plus a clean shutdown (see
@@ -133,6 +138,10 @@ shapes = payload["passes"]["shapes"]["shapes"]
 assert shapes["rating"] == "(B) float64", shapes
 print("analysis OK:", len(shapes), "named activations validated")
 PY
+python -m repro analyze --concurrency
+
+echo "== race-checked serve tests =="
+REPRO_RACE_CHECK=1 python -m pytest tests/serve/test_resilience.py -q
 
 echo "== serve smoke =="
 python -m repro export-embeddings --dataset yelpchi --scale 0.15 --epochs 1 \

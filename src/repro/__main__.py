@@ -15,9 +15,11 @@ Usage::
     python -m repro train --checkpoint-dir ckpts --resume  # continue a run
     python -m repro watch run.jsonl        # render the event stream
     python -m repro watch run.jsonl --follow  # live-tail a running fit
-    python -m repro analyze                # all four static-analysis passes
+    python -m repro analyze                # all five static-analysis passes
     python -m repro analyze --lint src/repro  # repo discipline linter only
     python -m repro analyze --shapes --graph  # config + autograd validation
+    python -m repro analyze --concurrency  # lock-discipline lint (LOCK001-004)
+    python -m repro analyze --concurrency --dynamic  # + race-detector exercise
     python -m repro plan                   # compile the execution plan, print it
     python -m repro plan --explain         # + inferred shapes and buffer schedule
     python -m repro train --plan           # fit on the compiled hot path
@@ -44,9 +46,12 @@ hot path (planned and interpreted mode agree to ≤1e-9).
 ``analyze`` runs the static-analysis suite (see ``docs/analysis.md``):
 symbolic shape validation of the default config, autograd-graph
 validation of one real forward, finite-difference gradient checks of
-every ``repro.nn`` layer, and the repo discipline linter.  Pick passes
-with ``--shapes/--graph/--gradcheck/--lint`` (default: all four); the
-exit code is non-zero when any selected pass fails.
+every ``repro.nn`` layer, the repo discipline linter, and the
+lock-discipline pass over the threaded runtime.  Pick passes with
+``--shapes/--graph/--gradcheck/--lint/--concurrency`` (default: all
+five); ``--concurrency --dynamic`` additionally runs the Eraser-style
+race-detection exercise.  The exit code is non-zero when any selected
+pass fails.
 
 ``export-embeddings`` fits RRRE and factors the trained model into a
 serving-ready embedding store (see ``docs/serving.md``); ``serve``
@@ -117,7 +122,7 @@ SUBCOMMANDS: Dict[str, str] = {
     "list": "print this subcommand catalogue and exit",
     "train": "one telemetry-enabled RRRE fit (profiling, events, checkpoints)",
     "watch": "render a trace event file as a live status board",
-    "analyze": "static-analysis suite: shapes, graph, gradcheck, lint",
+    "analyze": "static-analysis suite: shapes, graph, gradcheck, lint, concurrency",
     "plan": "compile the plan-then-execute hot path and print it",
     "export-embeddings": "fit RRRE and export the serving embedding store",
     "serve": "HTTP recommendation API over an exported store",
@@ -227,6 +232,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="for 'analyze': run the repo discipline linter (rules: "
         "RNG001/RNG002/TIME001/DTYPE001/MUT001/MUT002)",
+    )
+    parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="for 'analyze': lock-discipline lint of the threaded runtime "
+        "(rules: LOCK001/LOCK002/LOCK003/LOCK004)",
+    )
+    parser.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="for 'analyze --concurrency': additionally run the Eraser-style "
+        "dynamic race-detection exercise over the instrumented serving "
+        "classes (implies --concurrency)",
     )
     parser.add_argument(
         "--explain",
@@ -520,18 +538,22 @@ def run_analyze(
     graph: bool,
     gradcheck: bool,
     lint: bool,
+    concurrency: bool = False,
+    dynamic: bool = False,
     path: Optional[str] = None,
     report_json: Optional[str] = None,
 ) -> int:
-    """Run the selected static-analysis passes (all four when none given).
+    """Run the selected static-analysis passes (all five when none given).
 
     Prints one summary block per pass and returns a non-zero exit code
     when any selected pass fails, so CI can gate on it.  ``path`` is the
     lint target (default ``src/repro``); ``report_json`` writes the full
-    machine-readable results.
+    machine-readable results.  ``dynamic`` implies ``concurrency`` and
+    adds the instrumented race-detection exercise to that pass.
     """
     from .analysis import (
         PreflightError,
+        analyze_concurrency,
         check_shapes,
         lint_paths,
         preflight,
@@ -539,8 +561,10 @@ def run_analyze(
     )
     from .core.config import RRREConfig
 
-    if not (shapes or graph or gradcheck or lint):
-        shapes = graph = gradcheck = lint = True
+    if dynamic:
+        concurrency = True
+    if not (shapes or graph or gradcheck or lint or concurrency):
+        shapes = graph = gradcheck = lint = concurrency = True
     passes: Dict[str, dict] = {}
     failed = []
 
@@ -617,6 +641,37 @@ def run_analyze(
             for violation in report.violations:
                 print(f"  {violation}")
             failed.append("lint")
+
+    if concurrency:
+        target = path or "src/repro"
+        result = analyze_concurrency(target, dynamic=dynamic)
+        passes["concurrency"] = result
+        models = sum(len(m) for m in result["models"].values())
+        if not result["violations"]:
+            print(
+                f"concurrency: OK ({result['files_checked']} files, "
+                f"{models} lock model(s), 0 LOCK violations)"
+            )
+        else:
+            print(f"concurrency: FAIL ({len(result['violations'])} violation(s))")
+            for violation in result["violations"]:
+                print(
+                    f"  {violation['path']}:{violation['line']}:{violation['col']}: "
+                    f"{violation['rule']} {violation['message']}"
+                )
+        if not result["ok"]:
+            failed.append("concurrency")
+        if dynamic:
+            dyn = result["dynamic"]
+            check = dyn["self_check"]
+            print(
+                f"  dynamic: {'OK' if dyn['ok'] else 'FAIL'} "
+                f"({len(dyn['races'])} candidate race(s); self-check "
+                f"racy={'caught' if check['racy_class_detected'] else 'MISSED'}, "
+                f"deadlock={'caught' if check['abba_deadlock_detected'] else 'MISSED'})"
+            )
+            for race in dyn["races"]:
+                print(f"    race: {race['class']}.{race['field']}")
 
     if report_json:
         from .obs.report import SCHEMA_VERSION, _jsonable
@@ -754,6 +809,8 @@ def main(argv=None) -> int:
             args.graph,
             args.gradcheck,
             args.lint,
+            concurrency=args.concurrency,
+            dynamic=args.dynamic,
             path=args.path,
             report_json=args.report_json,
         )

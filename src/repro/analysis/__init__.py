@@ -15,7 +15,12 @@ compute is spent (see ``docs/analysis.md``):
   (:func:`gradcheck`) with a registered case per shipped layer
   (:func:`run_layer_gradchecks`);
 * :mod:`~repro.analysis.lint` — an AST linter (:func:`lint_paths`)
-  enforcing RNG/clock/dtype/mutation discipline across the repo.
+  enforcing RNG/clock/dtype/mutation discipline across the repo;
+* :mod:`~repro.analysis.concurrency` — lock-discipline rules
+  (``LOCK001``–``LOCK004``), an Eraser-style dynamic race detector over
+  :func:`make_lock` traced locks, and a wait-for-graph deadlock
+  watchdog for the threaded serving/observability runtime
+  (:func:`analyze_concurrency`).
 
 Everything is surfaced on the command line via ``python -m repro
 analyze`` and as a training pre-flight via
@@ -43,6 +48,28 @@ from .graph import (
     validate_graph,
 )
 from .lint import RULES, LintReport, LintViolation, lint_paths, lint_source
+from .concurrency import (
+    LOCK_RULES,
+    DeadlockError,
+    DeadlockWatchdog,
+    RaceDetector,
+    RaceReport,
+    TracedLock,
+    TracedRLock,
+    analyze_concurrency,
+    disable_lock_tracing,
+    enable_lock_tracing,
+    instrument_class,
+    lock_tracing,
+    make_lock,
+    make_rlock,
+    race_detection,
+    tracing_enabled,
+)
+# The LOCK001–LOCK004 descriptions join the rule catalogue as soon as
+# the package is imported (lint_source also merges them on demand).
+RULES.update(LOCK_RULES)
+
 from .shapes import (
     Dim,
     ShapeCheckReport,
@@ -82,6 +109,21 @@ __all__ = [
     "LintViolation",
     "lint_source",
     "lint_paths",
+    "DeadlockError",
+    "DeadlockWatchdog",
+    "RaceDetector",
+    "RaceReport",
+    "TracedLock",
+    "TracedRLock",
+    "analyze_concurrency",
+    "disable_lock_tracing",
+    "enable_lock_tracing",
+    "instrument_class",
+    "lock_tracing",
+    "make_lock",
+    "make_rlock",
+    "race_detection",
+    "tracing_enabled",
     "PreflightError",
     "preflight",
 ]

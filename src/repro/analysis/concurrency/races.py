@@ -1,0 +1,324 @@
+"""Eraser-style dynamic lockset race detection.
+
+The detector maintains, per ``(object, field)``, the classic Eraser
+state machine (Savage et al., SOSP '97):
+
+* **VIRGIN** — never accessed.
+* **EXCLUSIVE** — touched by one thread only; no lockset tracking yet
+  (initialization handoff is free).
+* **SHARED** — read by multiple threads; the *candidate lockset* (the
+  intersection of the locks held at every multi-thread access) is
+  refined, but read-only sharing never races.
+* **SHARED-MODIFIED** — written by more than one thread; when the
+  candidate lockset becomes empty there is no lock that consistently
+  guards the field, and a :class:`RaceReport` fires with the stacks of
+  the two conflicting accesses.
+
+Locksets come from :func:`~repro.analysis.concurrency.locks.current_lockset`,
+so only :class:`TracedLock` acquisitions count — enable tracing *before*
+constructing the objects under test.
+
+Classes opt in via :func:`instrument_class`, which wraps
+``__setattr__`` (writes) and ``__getattribute__`` (reads of data
+attributes — plain ``__dict__`` entries or ``__slots__``).  The wrap is
+a no-op while no detector is installed, and per-field ``exclude`` lists
+document deliberately unguarded fields (GIL-atomic reference swaps,
+single-writer handoffs) at the instrumentation site.
+
+Granularity is the *attribute binding*: ``self.count += 1`` is a read
+plus a write and is caught; ``self._entries[k] = v`` is only a read of
+``_entries`` (the mutation happens inside the dict), so container
+discipline is LOCK001's job statically, not this detector's.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Type
+
+from .locks import current_lock_names, current_lockset
+
+__all__ = [
+    "RaceDetector",
+    "RaceReport",
+    "active_detector",
+    "install_detector",
+    "instrument_class",
+    "race_detection",
+    "uninstall_detector",
+    "uninstrument_class",
+]
+
+# Eraser states.
+_EXCLUSIVE = 1
+_SHARED = 2
+_SHARED_MODIFIED = 3
+
+_TLS = threading.local()
+
+
+def _brief_stack(skip: int = 3, limit: int = 10) -> Tuple[str, ...]:
+    """``file:line in func`` frames of the caller, innermost last."""
+    frame = sys._getframe(skip)
+    summary = traceback.extract_stack(frame, limit=limit)
+    return tuple(
+        f"{entry.filename}:{entry.lineno} in {entry.name}" for entry in summary
+    )
+
+
+@dataclass
+class _AccessInfo:
+    """The last interesting access of a field (for the race report)."""
+
+    thread: str
+    write: bool
+    locks: Tuple[str, ...]
+    stack: Tuple[str, ...]
+
+
+@dataclass
+class _FieldState:
+    state: int
+    owner: int
+    lockset: Optional[FrozenSet[int]] = None
+    last: Optional[_AccessInfo] = None
+    reported: bool = False
+
+
+@dataclass
+class RaceReport:
+    """A candidate data race: two accesses with no common lock."""
+
+    cls: str
+    field: str
+    first: _AccessInfo
+    second: _AccessInfo
+
+    def __str__(self) -> str:
+        lines = [
+            f"candidate race on {self.cls}.{self.field}:",
+            f"  {self.first.thread} "
+            f"{'wrote' if self.first.write else 'read'} it holding "
+            f"{list(self.first.locks) or 'no locks'}:",
+        ]
+        lines.extend(f"    {frame}" for frame in self.first.stack[-4:])
+        lines.append(
+            f"  {self.second.thread} "
+            f"{'wrote' if self.second.write else 'read'} it holding "
+            f"{list(self.second.locks) or 'no locks'}:"
+        )
+        lines.extend(f"    {frame}" for frame in self.second.stack[-4:])
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "class": self.cls,
+            "field": self.field,
+            "first": {
+                "thread": self.first.thread,
+                "write": self.first.write,
+                "locks": list(self.first.locks),
+                "stack": list(self.first.stack),
+            },
+            "second": {
+                "thread": self.second.thread,
+                "write": self.second.write,
+                "locks": list(self.second.locks),
+                "stack": list(self.second.stack),
+            },
+        }
+
+
+class RaceDetector:
+    """Process-wide lockset state machine over instrumented fields."""
+
+    def __init__(self) -> None:
+        #: Guards the field map; a leaf lock — record() takes nothing else.
+        self._guard = threading.Lock()
+        self._fields: Dict[Tuple[int, str, str], _FieldState] = {}
+        self.reports: List[RaceReport] = []
+
+    # -- recording -----------------------------------------------------
+    def record(self, obj: object, name: str, write: bool) -> None:
+        """Feed one attribute access into the state machine."""
+        if getattr(_TLS, "busy", False):
+            return
+        _TLS.busy = True
+        try:
+            self._record(obj, name, write)
+        finally:
+            _TLS.busy = False
+
+    def _record(self, obj: object, name: str, write: bool) -> None:
+        ident = threading.get_ident()
+        key = (id(obj), type(obj).__name__, name)
+        lockset = current_lockset()
+        with self._guard:
+            state = self._fields.get(key)
+            if state is None:
+                self._fields[key] = _FieldState(state=_EXCLUSIVE, owner=ident)
+                return
+            if state.reported:
+                return
+            if state.state == _EXCLUSIVE:
+                if state.owner == ident:
+                    return  # single-thread fast path: no capture at all
+                # First cross-thread access: start lockset tracking.
+                state.state = _SHARED_MODIFIED if write else _SHARED
+                state.lockset = lockset
+                state.last = self._access_info(write, lockset)
+                if write and not lockset:
+                    # Written by a second thread with no locks at all —
+                    # report now; EXCLUSIVE kept no first stack, so both
+                    # sides are this access and a synthesized origin.
+                    self._report(key, state, self._origin_info(state))
+                return
+            assert state.lockset is not None
+            if write and state.state == _SHARED:
+                state.state = _SHARED_MODIFIED
+            previous = state.last
+            state.lockset = state.lockset & lockset
+            state.last = self._access_info(write, lockset)
+            if state.state == _SHARED_MODIFIED and not state.lockset:
+                self._report(key, state, previous)
+
+    def _access_info(self, write: bool, lockset: FrozenSet[int]) -> _AccessInfo:
+        return _AccessInfo(
+            thread=threading.current_thread().name,
+            write=write,
+            locks=current_lock_names(),
+            stack=_brief_stack(skip=5),
+        )
+
+    def _origin_info(self, state: _FieldState) -> _AccessInfo:
+        return _AccessInfo(
+            thread=f"<thread-{state.owner}> (exclusive phase)",
+            write=True,
+            locks=(),
+            stack=("<initialization — stack not retained in EXCLUSIVE state>",),
+        )
+
+    def _report(
+        self,
+        key: Tuple[int, str, str],
+        state: _FieldState,
+        previous: Optional[_AccessInfo],
+    ) -> None:
+        state.reported = True
+        assert state.last is not None
+        first = previous if previous is not None else self._origin_info(state)
+        self.reports.append(
+            RaceReport(cls=key[1], field=key[2], first=first, second=state.last)
+        )
+
+    # -- results -------------------------------------------------------
+    def races(self) -> List[RaceReport]:
+        """The candidate races observed so far."""
+        with self._guard:
+            return list(self.reports)
+
+    def clear(self) -> None:
+        with self._guard:
+            self._fields.clear()
+            self.reports.clear()
+
+
+_ACTIVE: Optional[RaceDetector] = None
+
+
+def active_detector() -> Optional[RaceDetector]:
+    """The installed detector, or ``None`` (the instrumentation no-op)."""
+    return _ACTIVE
+
+
+def install_detector(detector: Optional[RaceDetector] = None) -> RaceDetector:
+    """Install (and return) the process-wide detector."""
+    global _ACTIVE
+    if detector is None:
+        detector = RaceDetector()
+    _ACTIVE = detector
+    return detector
+
+
+def uninstall_detector() -> None:
+    """Detach the detector; instrumented classes revert to no-ops."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def race_detection():
+    """Install a fresh detector for the ``with`` block; yields it."""
+    detector = install_detector()
+    try:
+        yield detector
+    finally:
+        uninstall_detector()
+
+
+def _slot_names(cls: Type) -> FrozenSet[str]:
+    names: set = set()
+    for klass in cls.__mro__:
+        slots = klass.__dict__.get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        names.update(slots)
+    return frozenset(names)
+
+
+def instrument_class(cls: Type, exclude: Sequence[str] = ()) -> Type:
+    """Shim ``cls`` so attribute accesses feed the active detector.
+
+    ``exclude`` names fields deliberately left unguarded — each entry
+    should carry a justification comment at the call site.  Reads are
+    only recorded for *data* attributes (instance ``__dict__`` entries
+    or declared slots), so method lookups stay cheap.  Idempotent;
+    reversible with :func:`uninstrument_class`.
+    """
+    if getattr(cls, "_repro_race_originals", None) is not None:
+        return cls
+    excluded = frozenset(exclude)
+    slots = _slot_names(cls)
+    orig_setattr = cls.__setattr__
+    orig_getattribute = cls.__getattribute__
+
+    def traced_setattr(self, name: str, value: object) -> None:
+        detector = _ACTIVE
+        if detector is not None and not name.startswith("__") and name not in excluded:
+            detector.record(self, name, write=True)
+        orig_setattr(self, name, value)
+
+    def traced_getattribute(self, name: str) -> object:
+        value = orig_getattribute(self, name)
+        if name.startswith("__") or name in excluded:
+            return value
+        detector = _ACTIVE
+        if detector is not None:
+            if name in slots:
+                detector.record(self, name, write=False)
+            else:
+                try:
+                    instance_dict = orig_getattribute(self, "__dict__")
+                except AttributeError:
+                    instance_dict = None
+                if instance_dict is not None and name in instance_dict:
+                    detector.record(self, name, write=False)
+        return value
+
+    cls.__setattr__ = traced_setattr
+    cls.__getattribute__ = traced_getattribute
+    cls._repro_race_originals = (orig_setattr, orig_getattribute)
+    return cls
+
+
+def uninstrument_class(cls: Type) -> Type:
+    """Undo :func:`instrument_class`."""
+    originals = cls.__dict__.get("_repro_race_originals")
+    if originals is not None:
+        cls.__setattr__, cls.__getattribute__ = originals
+        del cls._repro_race_originals
+    return cls

@@ -1,0 +1,209 @@
+"""Runtime deadlock watchdog over the traced-lock wait-for graph.
+
+:class:`DeadlockWatchdog` is a daemon thread that periodically:
+
+* sweeps the wait-for graph (:func:`~.locks.find_deadlock` from every
+  blocked thread) and records any stable cycle — blocked acquires also
+  self-detect, so the watchdog catches cycles involving *plain* waits
+  (e.g. a ``Condition``) that never re-enter the traced acquire loop;
+* raises a **held-too-long alarm** for any traced lock held beyond
+  ``hold_alarm`` seconds — the precursor signature of a deadlock or a
+  blocking call under a lock;
+* publishes the aggregate ``repro_lock_*`` gauges through
+  :func:`~.locks.publish_lock_metrics` and emits ``lock_stats`` /
+  ``lock_alert`` point events on the ambient tracer, which the
+  ``watch`` status board renders.
+
+The watchdog is passive observation only: it never acquires the locks
+it watches, so it cannot itself deadlock with application code.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .locks import (
+    find_deadlock,
+    lock_stats_snapshot,
+    publish_lock_metrics,
+    recorded_deadlocks,
+    traced_locks,
+    waiting_threads,
+)
+
+__all__ = ["DeadlockWatchdog", "LockAlert"]
+
+
+@dataclass
+class LockAlert:
+    """One watchdog finding."""
+
+    kind: str  #: ``"deadlock"`` or ``"held_too_long"``
+    detail: str
+    lock: str = ""
+    thread: str = ""
+    seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "lock": self.lock,
+            "thread": self.thread,
+            "seconds": round(self.seconds, 4),
+        }
+
+
+class DeadlockWatchdog:
+    """Background sweeper for lock health; see the module docstring.
+
+    ``registry`` (a :class:`repro.obs.metrics.MetricsRegistry`) receives
+    the gauge export each sweep when given; ``on_alert`` is called with
+    each new :class:`LockAlert` (in the watchdog thread).
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.25,
+        hold_alarm: float = 1.0,
+        registry=None,
+        on_alert: Optional[Callable[[LockAlert], None]] = None,
+    ) -> None:
+        self.interval = interval
+        self.hold_alarm = hold_alarm
+        self.registry = registry
+        self.on_alert = on_alert
+        self._lock = threading.Lock()
+        self._alerts: List[LockAlert] = []
+        self._alarmed: set = set()
+        self._seen_deadlocks = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "DeadlockWatchdog":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-lock-watchdog", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "DeadlockWatchdog":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- results -------------------------------------------------------
+    def alerts(self) -> List[LockAlert]:
+        with self._lock:
+            return list(self._alerts)
+
+    # -- sweep ---------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sweep()
+
+    def sweep(self) -> List[LockAlert]:
+        """One pass: deadlock scan, hold alarms, metric/event export.
+
+        Public so tests (and the analyze harness) can drive a sweep
+        synchronously instead of sleeping.
+        """
+        fresh: List[LockAlert] = []
+        fresh.extend(self._sweep_deadlocks())
+        fresh.extend(self._sweep_holds())
+        self._export(fresh)
+        if fresh:
+            with self._lock:
+                self._alerts.extend(fresh)
+            if self.on_alert is not None:
+                for alert in fresh:
+                    self.on_alert(alert)
+        return fresh
+
+    def _sweep_deadlocks(self) -> List[LockAlert]:
+        fresh: List[LockAlert] = []
+        # Cycles the blocked acquires recorded themselves.
+        recorded = recorded_deadlocks()
+        for cycle in recorded[self._seen_deadlocks:]:
+            fresh.append(self._cycle_alert(cycle))
+        self._seen_deadlocks = len(recorded)
+        # Cycles still live in the graph right now.
+        for ident in list(waiting_threads()):
+            cycle = find_deadlock(ident)
+            if cycle is not None:
+                alert = self._cycle_alert(cycle)
+                if not any(a.detail == alert.detail for a in self._alerts + fresh):
+                    fresh.append(alert)
+        return fresh
+
+    def _cycle_alert(self, cycle: List[Tuple[str, str]]) -> LockAlert:
+        detail = " -> ".join(f"{t} waits on {lock}" for t, lock in cycle)
+        return LockAlert(
+            kind="deadlock",
+            detail=detail,
+            lock=cycle[0][1],
+            thread=cycle[0][0],
+        )
+
+    def _sweep_holds(self) -> List[LockAlert]:
+        fresh: List[LockAlert] = []
+        now = time.perf_counter()
+        for lock in traced_locks():
+            owner = lock.owner
+            if owner is None:
+                continue
+            held = now - lock.acquired_at
+            if held < self.hold_alarm:
+                self._alarmed.discard(id(lock))
+                continue
+            if id(lock) in self._alarmed:
+                continue  # one alarm per continuous hold
+            self._alarmed.add(id(lock))
+            fresh.append(
+                LockAlert(
+                    kind="held_too_long",
+                    detail=(
+                        f"{lock.name} held by {lock.owner_name!r} for "
+                        f"{held:.2f}s (alarm at {self.hold_alarm:.2f}s)"
+                    ),
+                    lock=lock.name,
+                    thread=lock.owner_name,
+                    seconds=held,
+                )
+            )
+        return fresh
+
+    def _export(self, fresh: List[LockAlert]) -> None:
+        # Lazy obs import: analysis must stay importable without obs.
+        from ...obs.trace import emit_event
+
+        if self.registry is not None:
+            publish_lock_metrics(self.registry)
+        stats = lock_stats_snapshot()
+        if stats:
+            emit_event(
+                "lock_stats",
+                locks=len(stats),
+                waiters=len(waiting_threads()),
+                contended=int(sum(s["contended"] for s in stats.values())),
+                acquisitions=int(sum(s["acquisitions"] for s in stats.values())),
+                hold_max=round(max(s["hold_max"] for s in stats.values()), 4),
+                deadlocks=len(recorded_deadlocks()),
+            )
+        for alert in fresh:
+            emit_event("lock_alert", **alert.to_dict())

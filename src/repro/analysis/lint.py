@@ -31,7 +31,21 @@ MUT002    Call-based in-place write to a ``.data`` array: an ``out=``
           (which call ``bump_version()`` themselves) are whitelisted;
           :mod:`repro.plan` is exempt — the plan executor is the
           sanctioned engine for such writes and proves them safe.
+LOCK001   Shared attribute accessed both under and outside the lock
+          that guards it elsewhere in the class (see
+          :mod:`repro.analysis.concurrency.lint_locks`).
+LOCK002   Two locks acquired in opposite nesting orders within one
+          class — the ABBA deadlock shape.
+LOCK003   Blocking call (I/O, ``sleep``, ``result``/``wait``/``join``
+          without a timeout) while holding a lock.
+LOCK004   Manual ``acquire()`` whose ``release()`` is not in a
+          ``try/finally``.
 ========  ==============================================================
+
+The ``LOCK00x`` rules live in
+:mod:`repro.analysis.concurrency.lint_locks` and run on every module
+except the concurrency package itself (which manipulates locks by
+design, mirroring the :mod:`repro.plan` MUT002 exemption).
 
 A violation is suppressed by appending ``# lint: allow[RULE001]`` (one
 or more comma-separated rule IDs) to the offending line, which is how
@@ -57,6 +71,17 @@ RULES: Dict[str, str] = {
     "MUT001": "assignment to a Tensor .data attribute outside a whitelisted optimizer site",
     "MUT002": "call-based in-place write to a .data array outside the plan executor",
 }
+
+
+def _install_lock_rules() -> None:
+    """Merge the LOCK001–LOCK004 descriptions into :data:`RULES`.
+
+    Deferred to call time because :mod:`.concurrency.lint_locks` imports
+    :class:`LintViolation` from this module.
+    """
+    from .concurrency.lint_locks import LOCK_RULES
+
+    RULES.update(LOCK_RULES)
 
 #: ndarray methods that mutate in place — targets for MUT002 when
 #: invoked directly on a ``.data`` attribute.
@@ -279,6 +304,7 @@ def lint_source(source: str, path: str = "<string>") -> List[LintViolation]:
     parts = Path(path).parts
     in_nn = "nn" in parts
     in_plan = "plan" in parts
+    in_concurrency = "concurrency" in parts
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -289,6 +315,14 @@ def lint_source(source: str, path: str = "<string>") -> List[LintViolation]:
         ]
     visitor = _Visitor(path, in_nn, in_plan)
     visitor.visit(tree)
+    if not in_concurrency:
+        # Deferred import: lint_locks needs LintViolation from this module.
+        # The concurrency package itself is exempt — it is the sanctioned
+        # engine for raw lock manipulation, mirroring the plan/MUT002 rule.
+        from .concurrency.lint_locks import collect_lock_violations
+
+        _install_lock_rules()
+        visitor.violations.extend(collect_lock_violations(tree, path))
     lines = source.splitlines()
     kept = []
     for violation in visitor.violations:

@@ -41,6 +41,8 @@ import threading
 from contextlib import contextmanager
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..analysis.concurrency.locks import make_lock
+
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
@@ -237,11 +239,14 @@ class Histogram:
     def quantile(self, q: float) -> float:
         """Streaming estimate of quantile ``q`` (must be tracked)."""
         q = float(q)
-        if self._restored and q in self._restored:
-            return self._restored[q]
-        if q not in self._estimators:
-            raise KeyError(f"quantile {q} not tracked; have {sorted(self._estimators)}")
-        return self._estimators[q].value()
+        with self._lock:
+            if self._restored and q in self._restored:
+                return self._restored[q]
+            if q not in self._estimators:
+                raise KeyError(
+                    f"quantile {q} not tracked; have {sorted(self._estimators)}"
+                )
+            return self._estimators[q].value()
 
     def bucket_quantile(self, q: float) -> Tuple[float, float]:
         """The ``(lower, upper)`` bounds of the bucket holding quantile ``q``.
@@ -252,23 +257,25 @@ class Histogram:
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if self.count == 0:
-            return (float("nan"), float("nan"))
-        rank = q * self.count
-        cumulative = 0
-        for i, bucket_count in enumerate(self.bucket_counts):
-            cumulative += bucket_count
-            if cumulative >= rank and bucket_count:
-                lower = self.buckets[i - 1] if i > 0 else float("-inf")
-                upper = self.buckets[i] if i < len(self.buckets) else float("inf")
-                return (lower, upper)
-        return (self.buckets[-1], float("inf"))
+        with self._lock:
+            if self.count == 0:
+                return (float("nan"), float("nan"))
+            rank = q * self.count
+            cumulative = 0
+            for i, bucket_count in enumerate(self.bucket_counts):
+                cumulative += bucket_count
+                if cumulative >= rank and bucket_count:
+                    lower = self.buckets[i - 1] if i > 0 else float("-inf")
+                    upper = self.buckets[i] if i < len(self.buckets) else float("inf")
+                    return (lower, upper)
+            return (self.buckets[-1], float("inf"))
 
     def quantiles(self) -> Dict[float, float]:
         """All tracked quantile estimates, keyed by ``q``."""
-        if self._restored:
-            return dict(self._restored)
-        return {q: est.value() for q, est in sorted(self._estimators.items())}
+        with self._lock:
+            if self._restored:
+                return dict(self._restored)
+            return {q: est.value() for q, est in sorted(self._estimators.items())}
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -338,7 +345,10 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        # metrics=False: the lock-wait/hold histograms live *inside*
+        # this registry — observing them through a traced registry
+        # lock would recurse.
+        self._lock = make_lock("obs.metrics.registry", metrics=False)
         self._families: Dict[str, _Family] = {}
 
     # -- family constructors ------------------------------------------

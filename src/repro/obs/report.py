@@ -399,15 +399,81 @@ def _check_version(payload: Dict[str, Any], problems: List[str]) -> int:
     return version
 
 
+#: Required keys of the ``concurrency`` pass inside an analyze report.
+_CONCURRENCY_KEYS = {
+    "ok": bool,
+    "files_checked": int,
+    "violations": list,
+    "models": dict,
+}
+
+
+def _validate_analyze_report(payload: Dict[str, Any]) -> List[str]:
+    """Structural check of an ``analyze --report-json`` document."""
+    problems: List[str] = []
+    _check_version(payload, problems)
+    if not isinstance(payload.get("ok"), bool):
+        problems.append("analyze report needs a boolean 'ok'")
+    if not isinstance(payload.get("failed_passes"), list):
+        problems.append("analyze report needs a 'failed_passes' list")
+    passes = payload.get("passes")
+    if not isinstance(passes, dict):
+        return problems + ["analyze report needs a 'passes' object"]
+    concurrency = passes.get("concurrency")
+    if concurrency is None:
+        return problems
+    if not isinstance(concurrency, dict):
+        return problems + ["passes.concurrency must be an object"]
+    for key, expected in _CONCURRENCY_KEYS.items():
+        if key not in concurrency:
+            problems.append(f"passes.concurrency missing key {key!r}")
+        elif not isinstance(concurrency[key], expected):
+            problems.append(
+                f"passes.concurrency.{key} must be {expected.__name__}, "
+                f"got {type(concurrency[key]).__name__}"
+            )
+    violations = concurrency.get("violations")
+    for i, violation in enumerate(violations if isinstance(violations, list) else []):
+        if not isinstance(violation, dict) or not {
+            "rule",
+            "path",
+            "line",
+        } <= set(violation):
+            problems.append(
+                f"passes.concurrency.violations[{i}] must be an object "
+                "with rule/path/line"
+            )
+    dynamic = concurrency.get("dynamic")
+    if dynamic is not None:
+        if not isinstance(dynamic, dict):
+            problems.append("passes.concurrency.dynamic must be an object")
+        else:
+            if not isinstance(dynamic.get("ok"), bool):
+                problems.append("passes.concurrency.dynamic needs a boolean 'ok'")
+            if not isinstance(dynamic.get("races"), list):
+                problems.append("passes.concurrency.dynamic needs a 'races' list")
+            if not isinstance(dynamic.get("self_check"), dict):
+                problems.append(
+                    "passes.concurrency.dynamic needs a 'self_check' object"
+                )
+    return problems
+
+
 def validate_report(payload: Dict[str, Any]) -> List[str]:
     """Structural check of a RunReport JSON document.
 
     Returns a list of problems (empty = valid).  Accepts any schema
-    version >= 1; v2-only sections are required only from v2 on.
+    version >= 1; v2-only sections are required only from v2 on.  An
+    ``analyze --report-json`` payload (recognized by its ``passes``
+    section and the absence of a training ``history``) is validated
+    against the analyze schema instead, including the ``concurrency``
+    pass structure.
     """
     problems: List[str] = []
     if not isinstance(payload, dict):
         return [f"report must be a JSON object, got {type(payload).__name__}"]
+    if "passes" in payload and "history" not in payload:
+        return _validate_analyze_report(payload)
     version = _check_version(payload, problems)
     required = dict(_REPORT_SECTIONS)
     if version >= 2:

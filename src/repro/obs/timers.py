@@ -31,6 +31,8 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional
 
+from ..analysis.concurrency.locks import make_lock
+
 
 class TimerStat:
     """Running statistics for one timing path (or counter).
@@ -125,7 +127,7 @@ class TimerRegistry:
         if not 0.0 < ema_alpha <= 1.0:
             raise ValueError(f"ema_alpha must be in (0, 1], got {ema_alpha}")
         self.ema_alpha = ema_alpha
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.timers")
         self._stats: Dict[str, TimerStat] = {}
         self._local = threading.local()
 

@@ -48,6 +48,7 @@ from contextlib import contextmanager, nullcontext
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
+from ..analysis.concurrency.locks import make_lock
 from .timers import TimerRegistry
 
 __all__ = [
@@ -134,7 +135,7 @@ class Tracer:
     ) -> None:
         self.trace_id = trace_id or uuid.uuid4().hex[:16]
         self.events: List[Dict[str, Any]] = []
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.trace")
         self._counter = 0
         self._local = threading.local()
         self._file = None
@@ -168,13 +169,15 @@ class Tracer:
     def _emit(self, payload: Dict[str, Any]) -> None:
         if self._callable is not None:
             self._callable(payload)
-        elif self._file is not None:
-            line = json.dumps(payload, sort_keys=False, default=str)
-            with self._lock:
-                self._file.write(line + "\n")
-                self._file.flush()
-        else:
-            with self._lock:
+            return
+        # The file handle is checked *under* the lock so a concurrent
+        # close() cannot yank it between the check and the write.
+        with self._lock:
+            if self._file is not None:
+                line = json.dumps(payload, sort_keys=False, default=str)
+                self._file.write(line + "\n")  # lint: allow[LOCK003] — line-flushed JSONL sink by design; the lock scope IS the write
+                self._file.flush()  # lint: allow[LOCK003] — tail-ability contract: every event visible immediately
+            else:
                 self.events.append(payload)
 
     def begin(self, name: str, kind: str = "span", **attrs: Any) -> Span:
@@ -252,10 +255,11 @@ class Tracer:
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
-        """Flush and close the sink (idempotent)."""
-        if self._file is not None:
-            self._file.close()
-            self._file = None
+        """Flush and close the sink (idempotent, safe against live emits)."""
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
 
     def __enter__(self) -> "Tracer":
         return self

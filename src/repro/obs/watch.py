@@ -46,6 +46,8 @@ class WatchState:
         self.final: Dict[str, Any] = {}
         self.span_kinds: TallyCounter = TallyCounter()
         self.open_spans: Dict[str, Dict[str, Any]] = {}
+        self.lock_stats: Dict[str, Any] = {}
+        self.lock_alerts: List[Dict[str, Any]] = []
         self.events_seen = 0
         self.last_ts: Optional[float] = None
         self.finished = False
@@ -86,6 +88,11 @@ class WatchState:
                 self.epochs.append(dict(attrs))
             elif name == "health":
                 self.alerts.append(dict(attrs))
+            elif name == "lock_stats":
+                # Watchdog heartbeat: keep the newest aggregate only.
+                self.lock_stats = dict(attrs)
+            elif name == "lock_alert":
+                self.lock_alerts.append(dict(attrs))
             elif name == "run_end":
                 self.final = dict(attrs)
                 self.finished = True
@@ -158,6 +165,22 @@ class WatchState:
                 )
         else:
             lines.append("health: ok (no alerts)")
+
+        if self.lock_stats:
+            stats = self.lock_stats
+            lines.append(
+                "locks:  "
+                f"{stats.get('locks', 0)} traced  "
+                f"acquisitions={stats.get('acquisitions', 0)}  "
+                f"contended={stats.get('contended', 0)}  "
+                f"waiters={stats.get('waiters', 0)}  "
+                f"hold_max={stats.get('hold_max', 0.0)}s  "
+                f"deadlocks={stats.get('deadlocks', 0)}"
+            )
+        if self.lock_alerts:
+            lines.append(f"lock alerts: {len(self.lock_alerts)}")
+            for alert in self.lock_alerts[-4:]:
+                lines.append(f"  [{alert.get('kind', '?')}] {alert.get('detail', '')}")
 
         if self.span_kinds:
             tally = "  ".join(

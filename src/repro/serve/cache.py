@@ -21,10 +21,11 @@ scoring path at all.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+from ..analysis.concurrency.locks import make_lock
 
 __all__ = ["CacheStats", "TTLCache"]
 
@@ -89,7 +90,7 @@ class TTLCache:
         self.ttl = ttl
         self.stats = CacheStats()
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.cache")
         # key -> [stored_at, value, expiry_counted] — the flag marks an
         # entry whose TTL expiry has already been observed (counted once
         # under stats.expirations and demoted in the LRU order).

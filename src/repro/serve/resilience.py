@@ -31,9 +31,10 @@ reference is ``docs/serving_resilience.md``.
 
 from __future__ import annotations
 
-import threading
 import time
 from typing import Callable, Optional
+
+from ..analysis.concurrency.locks import make_lock
 
 __all__ = [
     "AdmissionController",
@@ -146,7 +147,7 @@ class AdmissionController:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         self.max_inflight = max_inflight
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.admission")
         self._inflight = 0
         self._ewma = 0.0
 
@@ -237,7 +238,7 @@ class CircuitBreaker:
         self.half_open_probes = half_open_probes
         self.on_state_change = on_state_change
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.breaker")
         self._state = self.CLOSED
         self._failures = 0
         self._opened_at = 0.0
@@ -249,7 +250,7 @@ class CircuitBreaker:
     @property
     def state(self) -> str:
         with self._lock:
-            self._maybe_half_open()
+            self._maybe_half_open_locked()
             return self._state
 
     @property
@@ -264,7 +265,7 @@ class CircuitBreaker:
     def allow(self) -> bool:
         """Whether the next request may take the full scoring path."""
         with self._lock:
-            self._maybe_half_open()
+            self._maybe_half_open_locked()
             if self._state == self.CLOSED:
                 return True
             if self._state == self.HALF_OPEN and self._probes_left > 0:
@@ -278,9 +279,8 @@ class CircuitBreaker:
         with self._lock:
             self._failures = 0
             if self._state == self.HALF_OPEN:
-                fire = (self._state, self.CLOSED)
-                self._set_state_locked(self.CLOSED)
-        self._fire(fire)
+                fire = self._transition_locked(self.CLOSED)
+        self._notify(fire)
 
     def record_failure(self) -> None:
         """A full-path request failed; trip or re-open the breaker."""
@@ -291,39 +291,35 @@ class CircuitBreaker:
                 self._state == self.CLOSED
                 and self._failures >= self.failure_threshold
             ):
-                fire = (self._state, self.OPEN)
                 self._opened_at = self._clock()
-                self._set_state_locked(self.OPEN)
-        self._fire(fire)
+                fire = self._transition_locked(self.OPEN)
+        self._notify(fire)
 
     # ------------------------------------------------------------------
-    def _maybe_half_open(self) -> None:
-        """Open → half-open once the reset window has passed (locked)."""
+    def _maybe_half_open_locked(self) -> None:
+        """Open → half-open once the reset window has passed."""
         if (
             self._state == self.OPEN
             and self._clock() - self._opened_at >= self.reset_after
         ):
             self._probes_left = self.half_open_probes
-            old = self._state
-            self._set_state_locked(self.HALF_OPEN)
-            # Fired while holding the lock: the observer contract is a
-            # metric write, which must not call back into the breaker.
-            self.transitions.append((old, self.HALF_OPEN))
-            if self.on_state_change is not None:
-                try:
-                    self.on_state_change(old, self.HALF_OPEN)
-                except Exception:  # observer must never break serving
-                    pass
+            fire = self._transition_locked(self.HALF_OPEN)
+            # Notified while holding the lock: the observer contract is
+            # a metric write, which must not call back into the breaker.
+            self._notify(fire)
 
-    def _set_state_locked(self, new: str) -> None:
+    def _transition_locked(self, new: str) -> tuple:
+        """Switch state and append to the transition log under the lock."""
+        fire = (self._state, new)
         self._state = new
-
-    def _fire(self, fire) -> None:
-        if fire is None:
-            return
         self.transitions.append(fire)
-        if self.on_state_change is not None:
-            try:
-                self.on_state_change(*fire)
-            except Exception:  # observer must never break serving
-                pass
+        return fire
+
+    def _notify(self, fire) -> None:
+        """Run the state-change observer; never touches breaker state."""
+        if fire is None or self.on_state_change is None:
+            return
+        try:
+            self.on_state_change(*fire)
+        except Exception:  # observer must never break serving
+            pass

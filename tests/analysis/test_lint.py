@@ -178,5 +178,9 @@ class TestLintPaths:
             "DTYPE001",
             "MUT001",
             "MUT002",
+            "LOCK001",
+            "LOCK002",
+            "LOCK003",
+            "LOCK004",
         }
         assert all(RULES.values())

@@ -1,12 +1,82 @@
 """Shared fixtures for the serving tests: one small trained model and
 its exported embedding store, built once per session (training dominates
-the suite's cost; everything downstream is array arithmetic)."""
+the suite's cost; everything downstream is array arithmetic).
+
+Setting ``REPRO_RACE_CHECK=1`` runs the whole serve suite under the
+Eraser-style race detector (:mod:`repro.analysis.concurrency`): every
+``make_lock`` in the serving layer becomes a :class:`TracedLock`, the
+threaded classes are instrumented, and each test asserts that it
+introduced zero new candidate races."""
+
+import os
 
 import pytest
 
 from repro.core import RRRETrainer, fast_config
 from repro.data import load_dataset, train_test_split
 from repro.serve import EmbeddingStore, export_store
+
+RACE_CHECK = os.environ.get("REPRO_RACE_CHECK") == "1"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _race_check_session():
+    """Enable lock tracing + attribute instrumentation for the session."""
+    if not RACE_CHECK:
+        yield
+        return
+    from repro.analysis.concurrency import (
+        disable_lock_tracing,
+        enable_lock_tracing,
+        instrument_class,
+    )
+    from repro.analysis.concurrency.harness import _SERVE_EXCLUSIONS
+    from repro.analysis.concurrency.races import (
+        install_detector,
+        uninstall_detector,
+        uninstrument_class,
+    )
+    from repro.serve.cache import CacheStats, TTLCache
+    from repro.serve.resilience import AdmissionController, CircuitBreaker
+
+    # Tracing must be on before any serve object is constructed so
+    # make_lock() hands out traced locks; session scope + autouse makes
+    # this fixture run before the fitted_trainer/store fixtures.
+    enable_lock_tracing()
+    classes = [
+        (TTLCache, ()),
+        (CacheStats, _SERVE_EXCLUSIONS["CacheStats"]),
+        (AdmissionController, ()),
+        (CircuitBreaker, ()),
+    ]
+    for cls, exclude in classes:
+        instrument_class(cls, exclude=exclude)
+    install_detector()
+    try:
+        yield
+    finally:
+        for cls, _exclude in classes:
+            uninstrument_class(cls)
+        uninstall_detector()
+        disable_lock_tracing()
+
+
+@pytest.fixture(autouse=True)
+def _race_check_per_test(request):
+    """Each test must finish with zero new candidate races."""
+    if not RACE_CHECK:
+        yield
+        return
+    from repro.analysis.concurrency.races import active_detector
+
+    detector = active_detector()
+    before = len(detector.races())
+    yield
+    fresh = detector.races()[before:]
+    assert not fresh, (
+        f"{request.node.nodeid} introduced {len(fresh)} candidate race(s):\n"
+        + "\n\n".join(str(r) for r in fresh)
+    )
 
 
 @pytest.fixture(scope="session")
